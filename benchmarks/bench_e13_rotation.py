@@ -1,0 +1,120 @@
+"""E13 / Table 9 — baseline comparison: Omega vs rotating coordinator.
+
+The same ballot protocol runs under two leadership regimes on identical
+systems and seeds: the paper's Omega (communication-efficient variant)
+and the pre-Omega rotating-coordinator paradigm (time-sliced ownership,
+no failure detection).  Sweeping crash patterns shows why the field
+moved to Omega:
+
+* with the first slot owners crashed, rotation *burns whole slots*
+  proposing into silence before a live owner's turn comes — decision
+  latency grows with (crashed prefix × slot length);
+* duelling owners at slot boundaries cost extra Nack/re-prepare rounds
+  — visible as message overhead;
+* Omega pays its election cost once and is then insensitive to which
+  processes crashed.
+"""
+
+from __future__ import annotations
+
+from _common import emit, mean
+
+from repro.consensus import (
+    ConsensusSystem,
+    build_rotating_single_decree,
+    check_single_decree,
+)
+from repro.harness import render_table
+from repro.sim import CrashPlan, LinkTimings
+from repro.sim.topology import source_links
+
+N = 5
+SOURCE = 4          # the ◇source is the *last* slot in rotation order
+SEEDS = (1, 2, 3)
+HORIZON = 400.0
+SLOT = 4.0
+TIMINGS = LinkTimings(gst=3.0)
+
+
+CRASH_PATTERNS = {
+    "none": (),
+    "first owner": ((0.5, 0),),
+    "first two owners": ((0.5, 0), (0.7, 1)),
+}
+
+
+def run_rotating(crashes, seed: int):  # noqa: ANN001, ANN201
+    cluster = build_rotating_single_decree(
+        N, lambda: source_links(N, SOURCE, TIMINGS),
+        proposals=[f"v{i}" for i in range(N)], slot=SLOT, seed=seed)
+    if crashes:
+        CrashPlan.crash_at(*crashes).schedule(cluster)
+    cluster.start_all()
+    cluster.run_until(HORIZON)
+    times = [cluster.process(pid).decision_time
+             for pid in cluster.up_pids()]
+    if any(t is None for t in times):
+        return None, cluster.metrics.total_sent
+    latest = max(times)
+    messages = cluster.metrics.messages_between(0.0, latest + 5.0)
+    return latest, messages
+
+
+def run_omega(crashes, seed: int):  # noqa: ANN001, ANN201
+    system = ConsensusSystem.build_single_decree(
+        N, lambda: source_links(N, SOURCE, TIMINGS),
+        proposals=[f"v{i}" for i in range(N)], seed=seed)
+    if crashes:
+        CrashPlan.crash_at(*crashes).schedule(system)
+    system.start_all()
+    system.run_until(HORIZON)
+    report = check_single_decree(system)
+    if not report.all_correct_decided:
+        return None, system.agreement_network.metrics.total_sent
+    latest = report.latest_decision
+    messages = system.agreement_network.metrics.messages_between(
+        0.0, latest + 5.0)
+    return latest, messages
+
+
+def run_sweep() -> list[list[object]]:
+    rows: list[list[object]] = []
+    for label, crashes in CRASH_PATTERNS.items():
+        for regime, runner in (("rotation", run_rotating),
+                               ("omega", run_omega)):
+            latencies = []
+            messages = []
+            decided = 0
+            for seed in SEEDS:
+                latest, sent = runner(crashes, seed)
+                if latest is not None:
+                    decided += 1
+                    latencies.append(latest)
+                messages.append(float(sent))
+            rows.append([
+                label, regime, f"{decided}/{len(SEEDS)}",
+                mean(latencies) if latencies else None,
+                int(mean(messages)),
+            ])
+    return rows
+
+
+def test_e13_rotation_baseline(benchmark) -> None:  # noqa: ANN001
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = render_table(
+        ["crash pattern", "leadership", "decided", "last decision (s)",
+         "msgs to decide (mean)"],
+        rows,
+        title=(f"Table 9 (E13): rotating coordinator (slot={SLOT}s) vs "
+               f"Omega-driven consensus, n={N}, seeds={SEEDS}"))
+    emit("e13_rotation", table)
+
+    by_key = {(row[0], row[1]): row for row in rows}
+    # Everything must decide (safety is checked inside the runners via
+    # the protocol's own assertions + agreement of decision values).
+    assert all(row[2] == f"{len(SEEDS)}/{len(SEEDS)}" for row in rows)
+    # With the first two owners crashed, rotation pays the burned-slot
+    # penalty and must be slower than Omega.
+    rotation = by_key[("first two owners", "rotation")][3]
+    omega = by_key[("first two owners", "omega")][3]
+    assert rotation > omega

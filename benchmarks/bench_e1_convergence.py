@@ -1,0 +1,62 @@
+"""E1 / Table 1 — all four Omega algorithms elect a common correct leader.
+
+Validates R1-R3's liveness side: for every algorithm, in its own system,
+every correct process eventually trusts the same correct process.  Rows
+report stabilization time (mean over seeds) for a sweep of system sizes,
+failure-free and with a crash of the initially elected leader.
+"""
+
+from __future__ import annotations
+
+from _common import emit, mean
+
+from repro.harness import OmegaScenario, render_table
+from repro.sim import LinkTimings
+
+SEEDS = (1, 2, 3)
+TIMINGS = LinkTimings(gst=5.0)
+
+
+def scenario_for(algorithm: str, n: int, seed: int) -> OmegaScenario:
+    source = n // 2  # an arbitrary non-zero pid so min-id is not special
+    if algorithm == "all-timely":
+        return OmegaScenario(algorithm=algorithm, n=n, system="all-et",
+                             seed=seed, horizon=300.0, timings=TIMINGS)
+    if algorithm == "f-source":
+        targets = (0, n - 1)
+        return OmegaScenario(algorithm=algorithm, n=n, system="f-source",
+                             source=source, targets=targets, seed=seed,
+                             horizon=600.0, timings=TIMINGS)
+    return OmegaScenario(algorithm=algorithm, n=n, system="source",
+                         source=source, seed=seed, horizon=300.0,
+                         timings=TIMINGS)
+
+
+def run_sweep() -> list[list[object]]:
+    rows: list[list[object]] = []
+    for algorithm in ("all-timely", "source", "comm-efficient", "f-source"):
+        for n in (3, 5, 8, 12):
+            stabs = []
+            holds = True
+            for seed in SEEDS:
+                outcome = scenario_for(algorithm, n, seed).run()
+                holds &= outcome.stabilized
+                if outcome.report.stabilization_time is not None:
+                    stabs.append(outcome.report.stabilization_time)
+            rows.append([
+                algorithm, n, holds,
+                mean(stabs) if stabs else None,
+                max(stabs) if stabs else None,
+            ])
+    return rows
+
+
+def test_e1_convergence(benchmark) -> None:  # noqa: ANN001
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = render_table(
+        ["algorithm", "n", "omega holds", "stab mean (s)", "stab max (s)"],
+        rows,
+        title=("Table 1 (E1): convergence of the four Omega algorithms, "
+               f"failure-free, seeds={SEEDS}, GST=5s"))
+    emit("e1_convergence", table)
+    assert all(row[2] for row in rows), "every run must satisfy Omega"

@@ -1,0 +1,54 @@
+"""E3 / Table 2 — links that carry messages forever: n-1 versus Θ(n²).
+
+The paper defines communication efficiency by the number of links that
+carry messages forever.  For each algorithm and system size we census
+the links active in the final 20 seconds of a long run and compare with
+the theoretical targets: n-1 for the communication-efficient algorithm,
+n(n-1) for the all-to-all ones.
+"""
+
+from __future__ import annotations
+
+from _common import emit
+
+from repro.harness import OmegaScenario, render_table
+from repro.sim import LinkTimings
+
+TIMINGS = LinkTimings(gst=5.0)
+
+
+def run_census() -> list[list[object]]:
+    rows: list[list[object]] = []
+    for algorithm, system in (("all-timely", "all-et"),
+                              ("source", "source"),
+                              ("comm-efficient", "source"),
+                              ("f-source", "f-source")):
+        for n in (4, 8, 16):
+            scenario = OmegaScenario(
+                algorithm=algorithm, n=n, system=system, source=1,
+                targets=(0, 2) if system == "f-source" else (),
+                seed=3, horizon=240.0, ce_window=20.0, timings=TIMINGS)
+            outcome = scenario.run()
+            active = len(outcome.comm.links)
+            rows.append([
+                algorithm, n, active, n - 1, n * (n - 1),
+                outcome.communication_efficient,
+            ])
+    return rows
+
+
+def test_e3_link_census(benchmark) -> None:  # noqa: ANN001
+    rows = benchmark.pedantic(run_census, rounds=1, iterations=1)
+    table = render_table(
+        ["algorithm", "n", "links active (final 20s)", "n-1", "n(n-1)",
+         "comm-efficient"],
+        rows,
+        title=("Table 2 (E3): link census in the final window — "
+               "the CE algorithm touches exactly n-1 links"))
+    emit("e3_link_census", table)
+    for row in rows:
+        algorithm, n, active, ce_target, full, efficient = row
+        if algorithm == "comm-efficient":
+            assert active == ce_target and efficient
+        else:
+            assert active > ce_target

@@ -1,0 +1,73 @@
+"""Which algorithm survives which link-synchrony assumption?
+
+The core question of the paper is *how little* link synchrony suffices
+for leader election.  This sweep runs every algorithm in every system of
+the model and tabulates whether Omega held and whether the run was
+communication-efficient, making the assumption/guarantee trade-off
+visible at a glance:
+
+* the baseline needs every link eventually timely;
+* the source algorithms need one ◇(n-1)-source;
+* only the ◇f-source algorithm survives the f-timely-links system;
+* communication efficiency appears only where the theory allows it.
+
+Run:  python examples/synchrony_sweep.py
+"""
+
+from __future__ import annotations
+
+from repro import OmegaScenario, render_table
+from repro.sim import LinkTimings
+
+N = 5
+HORIZON = 500.0
+# Growing fair-lossy outages: honest "no timeliness" on non-timely links.
+TIMINGS = LinkTimings(gst=5.0, fair_outage_period=15.0, fair_outage_growth=4.0)
+
+SYSTEMS = (
+    ("all links ◇timely", "all-et", ()),
+    ("one ◇(n-1)-source", "source", ()),
+    ("one ◇f-source (f=2)", "f-source", (0, 4)),
+)
+ALGORITHMS = ("all-timely", "source", "comm-efficient", "f-source")
+
+
+QUIET_TAIL = 150.0  # agreement must hold, unchanged, for this long
+
+
+def verdict(algorithm: str, system: str, targets: tuple[int, ...]) -> str:
+    outcome = OmegaScenario(
+        algorithm=algorithm, n=N, system=system, source=2, targets=targets,
+        f=2, seed=3, horizon=HORIZON, ce_window=40.0, timings=TIMINGS).run()
+    # "Holds" must mean *stable* agreement, not a lucky snapshot: a run
+    # that still flapped during the final QUIET_TAIL seconds fails.
+    stable = (outcome.stabilized
+              and outcome.report.stabilization_time is not None
+              and outcome.report.stabilization_time <= HORIZON - QUIET_TAIL)
+    if not stable:
+        return "FAILS"
+    if outcome.communication_efficient:
+        return "holds + CE"
+    return "holds"
+
+
+def main() -> None:
+    print("=== synchrony sweep: assumptions vs guarantees ===\n")
+    rows = []
+    for label, system, targets in SYSTEMS:
+        row: list[object] = [label]
+        for algorithm in ALGORITHMS:
+            row.append(verdict(algorithm, system, targets))
+        rows.append(row)
+    print(render_table(["system \\ algorithm", *ALGORITHMS], rows))
+    print(
+        "\nReading guide: every algorithm works when all links are timely;"
+        "\nthe source algorithms need the ◇(n-1)-source; only the f-source"
+        "\nalgorithm's quorum-confirmed counters survive the weakest system;"
+        "\nand communication efficiency (CE) appears only with a full source"
+        "\n— exactly the paper's trade-off (results R1-R4, R6)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""repro — reproduction of "Communication-efficient leader election and
+consensus with limited link synchrony" (Aguilera, Delporte-Gallet,
+Fauconnier, Toueg — PODC 2004).
+
+The library has four layers:
+
+:mod:`repro.sim`
+    A deterministic discrete-event simulator of a partially synchronous
+    message-passing system with per-link synchrony models (timely,
+    eventually timely, fair-lossy, lossy-asynchronous), crash injection,
+    tracing and message accounting.
+
+:mod:`repro.core`
+    The paper's contribution: Omega (eventual leader election) failure
+    detectors — a pre-paper baseline, the eventually-timely-source
+    algorithm, the communication-efficient algorithm, and the ◇f-source
+    algorithm — plus a checker that decides stabilization, agreement and
+    communication efficiency for a run.
+
+:mod:`repro.consensus`
+    Leader-based consensus driven by Omega: single-decree (Paxos-style,
+    retransmitting over fair-lossy links) and a replicated log whose
+    steady state is communication-efficient.
+
+:mod:`repro.harness`
+    The experiment catalogue behind every benchmark, with scenario
+    builders, statistics and table rendering.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+claim-by-claim validation results.
+"""
+
+__version__ = "1.0.0"
+
+from repro.consensus import (  # noqa: E402  (re-exports after docstring)
+    ConsensusConfig,
+    ConsensusSystem,
+    LogReplica,
+    LogWorkload,
+    SingleDecreeConsensus,
+    check_log,
+    check_single_decree,
+)
+from repro.core import (  # noqa: E402
+    AllTimelyOmega,
+    CommEfficientOmega,
+    FSourceOmega,
+    OmegaConfig,
+    OmegaProtocol,
+    SourceOmega,
+    analyze_omega_run,
+    communication_report,
+    make_factory,
+)
+from repro.harness import OmegaOutcome, OmegaScenario, render_table  # noqa: E402
+from repro.sim import (  # noqa: E402
+    Cluster,
+    CrashPlan,
+    LinkTimings,
+    Message,
+    Network,
+    Process,
+    Simulation,
+)
+
+__all__ = [
+    "__version__",
+    "ConsensusConfig",
+    "ConsensusSystem",
+    "LogReplica",
+    "LogWorkload",
+    "SingleDecreeConsensus",
+    "check_log",
+    "check_single_decree",
+    "AllTimelyOmega",
+    "CommEfficientOmega",
+    "FSourceOmega",
+    "OmegaConfig",
+    "OmegaProtocol",
+    "SourceOmega",
+    "analyze_omega_run",
+    "communication_report",
+    "make_factory",
+    "OmegaOutcome",
+    "OmegaScenario",
+    "render_table",
+    "Cluster",
+    "CrashPlan",
+    "LinkTimings",
+    "Message",
+    "Network",
+    "Process",
+    "Simulation",
+]

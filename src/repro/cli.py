@@ -1,0 +1,399 @@
+"""Command-line interface: run the paper's systems from a terminal.
+
+Examples
+--------
+::
+
+    python -m repro algorithms
+    python -m repro omega --algorithm comm-efficient --system source \
+        --n 6 --source 2 --horizon 150
+    python -m repro omega --algorithm f-source --system f-source \
+        --n 5 --source 2 --targets 0,4 --crash 30:0
+    python -m repro omega --algorithm comm-efficient --system relay-tree \
+        --n 6 --source 2 --relay
+    python -m repro consensus --n 5 --omega comm-efficient --crash 2:0
+    python -m repro log --n 5 --commands 50 --crash-leader-at 20
+    python -m repro sweep --n 5 --horizon 400
+
+Every command prints human-readable tables (the same renderer the
+benchmarks use) and exits non-zero if the run violated the property it
+was asked to demonstrate.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.consensus import (
+    ConsensusSystem,
+    LogWorkload,
+    check_log,
+    check_single_decree,
+)
+from repro.core import (
+    OMEGA_ALGORITHMS,
+    OmegaConfig,
+    analyze_omega_run,
+    communication_report,
+    make_relayed,
+    origins_between,
+)
+from repro.core.registry import algorithm_class
+from repro.harness import OmegaScenario, render_table
+from repro.harness.scenarios import SYSTEM_NAMES
+from repro.sim import Cluster, CrashPlan, LinkTimings
+from repro.sim.topology import (
+    f_source_links,
+    multi_source_links,
+    relay_tree_links,
+    source_links,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_crashes(values: list[str]) -> tuple[tuple[float, int], ...]:
+    crashes = []
+    for item in values:
+        try:
+            time_text, pid_text = item.split(":")
+            crashes.append((float(time_text), int(pid_text)))
+        except ValueError:
+            raise SystemExit(f"bad --crash {item!r}; expected TIME:PID")
+    return tuple(crashes)
+
+
+def _parse_targets(text: str) -> tuple[int, ...]:
+    if not text:
+        return ()
+    try:
+        return tuple(int(part) for part in text.split(","))
+    except ValueError:
+        raise SystemExit(f"bad --targets {text!r}; expected e.g. 0,3")
+
+
+# ----------------------------------------------------------------------
+# omega
+# ----------------------------------------------------------------------
+
+def cmd_omega(args: argparse.Namespace) -> int:
+    timings = LinkTimings(gst=args.gst,
+                          fair_outage_period=args.outage_period,
+                          fair_outage_growth=args.outage_growth)
+    config = OmegaConfig(eta=args.eta)
+    crashes = _parse_crashes(args.crash)
+
+    if args.relay or args.system == "relay-tree":
+        cluster = _run_relayed(args, timings, config, crashes)
+        relayed = True
+    else:
+        scenario = OmegaScenario(
+            algorithm=args.algorithm, n=args.n, system=args.system,
+            source=args.source, targets=_parse_targets(args.targets),
+            f=args.f, crashes=crashes, seed=args.seed,
+            horizon=args.horizon, timings=timings, config=config)
+        cluster = scenario.run().cluster
+        relayed = False
+
+    report = analyze_omega_run(cluster)
+    comm = communication_report(cluster, window=args.ce_window)
+    rows = [[pid, report.final_outputs[pid],
+             cluster.process(pid).leader_changes]
+            for pid in cluster.up_pids()]
+    print(render_table(["process", "trusts", "changes"], rows,
+                       title=f"omega run: {args.algorithm} on {args.system} "
+                             f"(n={args.n}, seed={args.seed})"))
+    print(f"\nomega holds:        {report.omega_holds}")
+    print(f"final leader:       {report.final_leader}")
+    print(f"stabilization time: {report.stabilization_time}")
+    print(f"senders (last {args.ce_window:g}s): {sorted(comm.senders)}")
+    print(f"busy links:         {len(comm.links)}")
+    if relayed:
+        end = cluster.sim.now
+        origins = sorted(origins_between(cluster, end - args.ce_window, end))
+        print(f"originators:        {origins}")
+    else:
+        print(f"comm-efficient:     "
+              f"{comm.is_communication_efficient(report.final_leader)}")
+    return 0 if report.omega_holds else 1
+
+
+def _run_relayed(args: argparse.Namespace, timings: LinkTimings,
+                 config: OmegaConfig, crashes) -> Cluster:  # noqa: ANN001
+    cls = make_relayed(algorithm_class(args.algorithm))
+    if args.system == "relay-tree":
+        links = relay_tree_links(args.n, args.source, timings)
+    elif args.system == "source":
+        links = source_links(args.n, args.source, timings)
+    elif args.system == "multi-source":
+        links = multi_source_links(args.n, (args.source,), timings)
+    elif args.system == "f-source":
+        links = f_source_links(args.n, args.source,
+                               _parse_targets(args.targets), timings)
+    else:
+        raise SystemExit(f"--relay does not support system {args.system!r}")
+    if args.algorithm == "f-source":
+        raise SystemExit("--relay currently supports the heartbeat "
+                         "algorithms (all-timely/source/comm-efficient)")
+    cluster = Cluster.build(
+        args.n, lambda pid, sim, net: cls(pid, sim, net, config),
+        links=links, seed=args.seed)
+    if crashes:
+        CrashPlan.crash_at(*crashes).schedule(cluster)
+    cluster.start_all()
+    cluster.run_until(args.horizon)
+    return cluster
+
+
+# ----------------------------------------------------------------------
+# consensus / log
+# ----------------------------------------------------------------------
+
+def cmd_consensus(args: argparse.Namespace) -> int:
+    timings = LinkTimings(gst=args.gst, fair_loss=args.loss)
+    system = ConsensusSystem.build_single_decree(
+        args.n, lambda: source_links(args.n, args.source, timings),
+        proposals=[f"value-from-{pid}" for pid in range(args.n)],
+        omega_name=args.omega, f=args.f, seed=args.seed)
+    crashes = _parse_crashes(args.crash)
+    if crashes:
+        CrashPlan.crash_at(*crashes).schedule(system)
+    system.start_all()
+    system.run_until(args.horizon)
+    report = check_single_decree(system)
+    rows = [[pid, report.decided.get(pid, "-"),
+             report.decision_times.get(pid)]
+            for pid in system.pids]
+    print(render_table(["process", "decision", "decided at (s)"], rows,
+                       title=f"single-decree consensus (n={args.n}, "
+                             f"omega={args.omega}, seed={args.seed})"))
+    print(f"\nagreement: {report.agreement}   validity: {report.validity}")
+    print(f"all correct decided: {report.all_correct_decided}")
+    ok = report.agreement and report.validity and report.all_correct_decided
+    return 0 if ok else 1
+
+
+def cmd_log(args: argparse.Namespace) -> int:
+    timings = LinkTimings(gst=args.gst, fair_loss=args.loss)
+    sources = (args.source, (args.source + 1) % args.n)
+    system = ConsensusSystem.build_replicated_log(
+        args.n, lambda: multi_source_links(args.n, sources, timings),
+        omega_name=args.omega, seed=args.seed)
+    workload = LogWorkload(system, count=args.commands,
+                           period=args.period, start=5.0)
+    system.start_all()
+    if args.crash_leader_at is not None:
+        system.run_until(args.crash_leader_at)
+        leader = system.node(system.up_pids()[0]).omega.leader()
+        print(f"crashing leader {leader} at t={args.crash_leader_at}")
+        system.crash(leader)
+    system.run_until(args.horizon)
+    report = check_log(system, workload.submitted)
+    rows = [[pid, report.committed_by_pid[pid],
+             "up" if pid in report.correct else "crashed"]
+            for pid in system.pids]
+    print(render_table(["replica", "committed entries", "state"], rows,
+                       title=f"replicated log (n={args.n}, "
+                             f"{args.commands} commands, seed={args.seed})"))
+    print(f"\nagreement: {report.agreement}   validity: {report.validity}")
+    print(f"all commands committed: {workload.done()}")
+    ok = report.agreement and report.validity and workload.done()
+    return 0 if ok else 1
+
+
+# ----------------------------------------------------------------------
+# sweep / algorithms
+# ----------------------------------------------------------------------
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    timings = LinkTimings(gst=args.gst, fair_outage_period=15.0,
+                          fair_outage_growth=4.0)
+    quiet_tail = args.horizon * 0.3
+    systems = (("all links ◇timely", "all-et", ()),
+               ("one ◇(n-1)-source", "source", ()),
+               ("one ◇f-source (f=2)", "f-source", (0, args.n - 1)))
+    algorithms = tuple(OMEGA_ALGORITHMS)
+    rows = []
+    for label, system, targets in systems:
+        row: list[object] = [label]
+        for algorithm in algorithms:
+            outcome = OmegaScenario(
+                algorithm=algorithm, n=args.n, system=system,
+                source=args.n // 2, targets=targets, f=2, seed=args.seed,
+                horizon=args.horizon, ce_window=40.0,
+                timings=timings).run()
+            stable = (outcome.stabilized
+                      and outcome.report.stabilization_time is not None
+                      and outcome.report.stabilization_time
+                      <= args.horizon - quiet_tail)
+            if not stable:
+                row.append("FAILS")
+            elif outcome.communication_efficient:
+                row.append("holds + CE")
+            else:
+                row.append("holds")
+        rows.append(row)
+    print(render_table(["system \\ algorithm", *algorithms], rows,
+                       title="synchrony sweep: assumptions vs guarantees"))
+    return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.harness.fuzz import fuzz
+
+    results = fuzz(args.cases, fuzz_seed=args.seed,
+                   stop_on_failure=not args.keep_going)
+    failures = [result for result in results if not result.ok]
+    for result in results:
+        status = "ok  " if result.ok else "FAIL"
+        print(f"{status} {result.case.describe()} -- {result.detail}")
+    print(f"\n{len(results) - len(failures)}/{len(results)} cases passed")
+    return 1 if failures else 0
+
+
+def cmd_qos(args: argparse.Namespace) -> int:
+    from repro.core import measure_qos
+
+    timings = LinkTimings(gst=args.gst)
+    rows = []
+    for algorithm in OMEGA_ALGORITHMS:
+        if algorithm == "f-source":
+            scenario = OmegaScenario(
+                algorithm=algorithm, n=args.n, system="f-source",
+                source=args.n // 2, targets=(0, args.n - 1), f=2,
+                seed=args.seed, horizon=args.horizon, timings=timings,
+                trace=True)
+            crash = False
+        else:
+            system = "all-et" if algorithm == "all-timely" else "multi-source"
+            scenario = OmegaScenario(
+                algorithm=algorithm, n=args.n, system=system,
+                sources=(1, 2), seed=args.seed, horizon=args.horizon,
+                timings=timings, trace=True)
+            crash = True
+        cluster = scenario.build()
+        cluster.start_all()
+        if crash:
+            cluster.run_until(args.horizon / 3)
+            leader = analyze_omega_run(cluster).final_leader
+            if leader is not None:
+                cluster.crash(leader)
+        cluster.run_until(args.horizon)
+        qos = measure_qos(cluster)
+        rows.append([algorithm, "yes" if crash else "no",
+                     qos.agreement_fraction, qos.good_fraction,
+                     qos.worst_detection_time, qos.total_changes])
+    print(render_table(
+        ["algorithm", "leader crashed", "agreement frac", "good frac",
+         "worst detection (s)", "flaps"],
+        rows, title=f"Omega QoS (n={args.n}, horizon={args.horizon:g}s, "
+                    f"seed={args.seed})"))
+    return 0
+
+
+def cmd_algorithms(args: argparse.Namespace) -> int:
+    rows = [[name, cls.__name__, (cls.__doc__ or "").strip().splitlines()[0]]
+            for name, cls in OMEGA_ALGORITHMS.items()]
+    print(render_table(["name", "class", "summary"], rows,
+                       title="Omega algorithms"))
+    print("\nsystems: " + ", ".join(SYSTEM_NAMES) + ", relay-tree (via --relay)")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Communication-efficient leader election and consensus "
+                    "with limited link synchrony (PODC 2004) — simulator CLI.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    omega = sub.add_parser("omega", help="run one leader-election scenario")
+    omega.add_argument("--algorithm", default="comm-efficient",
+                       choices=sorted(OMEGA_ALGORITHMS))
+    omega.add_argument("--system", default="source",
+                       choices=sorted((*SYSTEM_NAMES, "relay-tree")))
+    omega.add_argument("--n", type=int, default=5)
+    omega.add_argument("--source", type=int, default=0)
+    omega.add_argument("--targets", default="")
+    omega.add_argument("--f", type=int, default=None)
+    omega.add_argument("--seed", type=int, default=0)
+    omega.add_argument("--horizon", type=float, default=150.0)
+    omega.add_argument("--gst", type=float, default=5.0)
+    omega.add_argument("--eta", type=float, default=0.5)
+    omega.add_argument("--ce-window", type=float, default=20.0)
+    omega.add_argument("--outage-period", type=float, default=0.0)
+    omega.add_argument("--outage-growth", type=float, default=0.0)
+    omega.add_argument("--crash", action="append", default=[],
+                       metavar="TIME:PID")
+    omega.add_argument("--relay", action="store_true",
+                       help="run the relayed (timely-path) variant")
+    omega.set_defaults(handler=cmd_omega)
+
+    consensus = sub.add_parser("consensus", help="run single-decree consensus")
+    consensus.add_argument("--n", type=int, default=5)
+    consensus.add_argument("--omega", default="comm-efficient",
+                           choices=sorted(OMEGA_ALGORITHMS))
+    consensus.add_argument("--source", type=int, default=0)
+    consensus.add_argument("--f", type=int, default=None)
+    consensus.add_argument("--seed", type=int, default=0)
+    consensus.add_argument("--loss", type=float, default=0.3)
+    consensus.add_argument("--gst", type=float, default=5.0)
+    consensus.add_argument("--horizon", type=float, default=200.0)
+    consensus.add_argument("--crash", action="append", default=[],
+                           metavar="TIME:PID")
+    consensus.set_defaults(handler=cmd_consensus)
+
+    log = sub.add_parser("log", help="run the replicated log")
+    log.add_argument("--n", type=int, default=5)
+    log.add_argument("--omega", default="comm-efficient",
+                     choices=sorted(OMEGA_ALGORITHMS))
+    log.add_argument("--source", type=int, default=0)
+    log.add_argument("--seed", type=int, default=0)
+    log.add_argument("--commands", type=int, default=30)
+    log.add_argument("--period", type=float, default=0.5)
+    log.add_argument("--loss", type=float, default=0.3)
+    log.add_argument("--gst", type=float, default=5.0)
+    log.add_argument("--horizon", type=float, default=300.0)
+    log.add_argument("--crash-leader-at", type=float, default=None)
+    log.set_defaults(handler=cmd_log)
+
+    sweep = sub.add_parser("sweep",
+                           help="algorithms × systems verdict matrix")
+    sweep.add_argument("--n", type=int, default=5)
+    sweep.add_argument("--seed", type=int, default=3)
+    sweep.add_argument("--horizon", type=float, default=500.0)
+    sweep.add_argument("--gst", type=float, default=5.0)
+    sweep.set_defaults(handler=cmd_sweep)
+
+    fuzz_cmd = sub.add_parser(
+        "fuzz", help="run random in-model scenarios and check invariants")
+    fuzz_cmd.add_argument("--cases", type=int, default=25)
+    fuzz_cmd.add_argument("--seed", type=int, default=0)
+    fuzz_cmd.add_argument("--keep-going", action="store_true",
+                          help="do not stop at the first failure")
+    fuzz_cmd.set_defaults(handler=cmd_fuzz)
+
+    qos = sub.add_parser("qos", help="failure-detector QoS per algorithm")
+    qos.add_argument("--n", type=int, default=6)
+    qos.add_argument("--seed", type=int, default=1)
+    qos.add_argument("--horizon", type=float, default=300.0)
+    qos.add_argument("--gst", type=float, default=5.0)
+    qos.set_defaults(handler=cmd_qos)
+
+    algorithms = sub.add_parser("algorithms",
+                                help="list algorithms and systems")
+    algorithms.set_defaults(handler=cmd_algorithms)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)

@@ -1,0 +1,86 @@
+"""Consensus on top of Omega (result R5 of DESIGN.md).
+
+Single-decree, ballot-based consensus and a multi-decree replicated log,
+both safe under asynchrony/loss/crash and live once the paired Omega
+module stabilizes with a majority of correct processes.  Assembled with
+:class:`ConsensusSystem`, exercised by :class:`LogWorkload`, judged by
+:func:`check_single_decree` / :func:`check_log`.
+"""
+
+from repro.consensus.checker import (
+    LogReport,
+    SingleDecreeReport,
+    check_log,
+    check_single_decree,
+)
+from repro.consensus.compaction import (
+    CompactingLogReport,
+    CompactingReplica,
+    SnapshotAck,
+    SnapshotOffer,
+    check_compacting_log,
+)
+from repro.consensus.config import ConsensusConfig
+from repro.consensus.messages import (
+    BOTTOM_BALLOT,
+    Accepted,
+    Ballot,
+    Decide,
+    DecideAck,
+    Forward,
+    Nack,
+    Prepare,
+    Promise,
+    Propose,
+)
+from repro.consensus.node import ConsensusNode, ConsensusSystem
+from repro.consensus.replica import NOOP, LogReplica
+from repro.consensus.rotating import (
+    RotatingLeaderOracle,
+    build_rotating_single_decree,
+)
+from repro.consensus.single import SingleDecreeConsensus
+from repro.consensus.statemachine import (
+    CounterMachine,
+    JournalMachine,
+    KeyValueStore,
+    ReplicatedStateMachine,
+    StateMachine,
+)
+from repro.consensus.workload import LogWorkload
+
+__all__ = [
+    "LogReport",
+    "SingleDecreeReport",
+    "check_log",
+    "check_single_decree",
+    "CompactingLogReport",
+    "CompactingReplica",
+    "SnapshotAck",
+    "SnapshotOffer",
+    "check_compacting_log",
+    "ConsensusConfig",
+    "BOTTOM_BALLOT",
+    "Accepted",
+    "Ballot",
+    "Decide",
+    "DecideAck",
+    "Forward",
+    "Nack",
+    "Prepare",
+    "Promise",
+    "Propose",
+    "ConsensusNode",
+    "ConsensusSystem",
+    "NOOP",
+    "LogReplica",
+    "RotatingLeaderOracle",
+    "build_rotating_single_decree",
+    "SingleDecreeConsensus",
+    "CounterMachine",
+    "JournalMachine",
+    "KeyValueStore",
+    "ReplicatedStateMachine",
+    "StateMachine",
+    "LogWorkload",
+]

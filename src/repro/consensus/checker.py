@@ -1,0 +1,139 @@
+"""Consensus safety/liveness verdicts for finished runs.
+
+Checks the three classic properties over the surviving processes:
+
+* **Agreement** — no two processes decided differently (per instance for
+  the replicated log).
+* **Validity** — every decision was somebody's proposal / a submitted
+  command.
+* **Termination (finite-run analogue)** — which correct processes have
+  decided by the end of the run, and when.
+
+The checker works on both :class:`SingleDecreeConsensus` ensembles and
+replicated logs, via small structural accessors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, TYPE_CHECKING
+
+from repro.consensus.single import SingleDecreeConsensus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.consensus.node import ConsensusSystem
+    from repro.consensus.replica import LogReplica
+
+__all__ = ["SingleDecreeReport", "check_single_decree", "LogReport", "check_log"]
+
+
+@dataclass(frozen=True)
+class SingleDecreeReport:
+    """Verdict for one single-decree run."""
+
+    correct: tuple[int, ...]
+    decided: dict[int, Any]
+    decision_times: dict[int, float]
+    agreement: bool
+    validity: bool
+
+    @property
+    def all_correct_decided(self) -> bool:
+        """Termination analogue: every correct process decided."""
+        return set(self.decided) >= set(self.correct)
+
+    @property
+    def latest_decision(self) -> float | None:
+        """Time the last correct process decided, if all did."""
+        if not self.all_correct_decided or not self.correct:
+            return None
+        return max(self.decision_times[pid] for pid in self.correct)
+
+
+def check_single_decree(system: "ConsensusSystem") -> SingleDecreeReport:
+    """Check one finished single-decree run."""
+    correct = tuple(system.up_pids())
+    proposals = set()
+    decided: dict[int, Any] = {}
+    times: dict[int, float] = {}
+    for pid in system.pids:
+        process = system.node(pid).agreement
+        if not isinstance(process, SingleDecreeConsensus):
+            raise TypeError(f"node {pid} does not run single-decree consensus")
+        proposals.add(process.proposal)
+        if process.decision is not None:
+            decided[pid] = process.decision
+            assert process.decision_time is not None
+            times[pid] = process.decision_time
+    values = set(decided.values())
+    return SingleDecreeReport(
+        correct=correct,
+        decided=decided,
+        decision_times=times,
+        agreement=len(values) <= 1,
+        validity=values <= proposals,
+    )
+
+
+@dataclass(frozen=True)
+class LogReport:
+    """Verdict for one replicated-log run."""
+
+    correct: tuple[int, ...]
+    agreement: bool
+    validity: bool
+    committed_by_pid: dict[int, int]
+    divergences: tuple[str, ...]
+
+    @property
+    def max_committed(self) -> int:
+        """Longest committed prefix across correct processes."""
+        if not self.committed_by_pid:
+            return 0
+        return max(self.committed_by_pid.values())
+
+
+def check_log(system: "ConsensusSystem", submitted: set[Any]) -> LogReport:
+    """Check a finished replicated-log run.
+
+    ``submitted`` is the set of commands the workload injected; validity
+    demands every committed command be one of them.
+    """
+    from repro.consensus.replica import LogReplica  # local: avoid cycle
+
+    correct = tuple(system.up_pids())
+    divergences: list[str] = []
+    valid = True
+    committed_by_pid: dict[int, int] = {}
+    logs: dict[int, list[Any]] = {}
+    for pid in system.pids:
+        process = system.node(pid).agreement
+        if not isinstance(process, LogReplica):
+            raise TypeError(f"node {pid} does not run the replicated log")
+        prefix = process.committed_prefix()
+        logs[pid] = prefix
+        committed_by_pid[pid] = len(prefix)
+        for entry in prefix:
+            if entry is None:  # NOOP filler
+                continue
+            _, command = entry
+            if command not in submitted:
+                valid = False
+    # Agreement: committed prefixes must be consistent (one a prefix of
+    # the other) for every pair.
+    pids = sorted(logs)
+    for left_index, left in enumerate(pids):
+        for right in pids[left_index + 1:]:
+            shorter = min(committed_by_pid[left], committed_by_pid[right])
+            if logs[left][:shorter] != logs[right][:shorter]:
+                divergences.append(
+                    f"logs of {left} and {right} diverge within "
+                    f"their common prefix of {shorter}"
+                )
+    return LogReport(
+        correct=correct,
+        agreement=not divergences,
+        validity=valid,
+        committed_by_pid=committed_by_pid,
+        divergences=tuple(divergences),
+    )

@@ -1,0 +1,32 @@
+"""Configuration of the consensus layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ConsensusConfig"]
+
+
+@dataclass(frozen=True)
+class ConsensusConfig:
+    """Tunables shared by single-decree consensus and the replicated log.
+
+    Attributes
+    ----------
+    tick:
+        Period of the driver timer: retransmissions of every outstanding
+        message happen each tick (mandatory over fair-lossy links), and a
+        proposer (re)starts ballots on ticks.
+    max_batch:
+        Replicated log only: how many pending commands the leader may
+        open concurrently (pipelined instances).
+    """
+
+    tick: float = 0.5
+    max_batch: int = 8
+
+    def __post_init__(self) -> None:
+        if self.tick <= 0:
+            raise ValueError("tick must be positive")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")

@@ -1,0 +1,223 @@
+"""Pairing Omega with consensus on one simulated machine.
+
+A real deployment runs the failure detector and the agreement protocol
+in one process over the same NICs.  In the simulator each layer is a
+:class:`~repro.sim.process.Process` registered under the node's pid on
+its *own* network — one network for failure-detector traffic, one for
+consensus traffic — both driven by the same simulation clock and both
+given independently sampled link policies of the *same* topology.  This
+keeps per-layer message accounting exact (the experiments report them
+separately) while preserving the coupling that matters: a node crash
+takes both layers down at the same instant.
+
+:class:`ConsensusSystem` assembles the whole thing and exposes the same
+surface as :class:`~repro.sim.cluster.Cluster` where it matters (``sim``,
+``crash``, ``run_until``), so fault plans work unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.consensus.config import ConsensusConfig
+from repro.consensus.single import SingleDecreeConsensus
+from repro.core.omega import OmegaProtocol
+from repro.core.registry import make_factory
+from repro.core.config import OmegaConfig
+from repro.sim.engine import Simulation
+from repro.sim.links import LinkPolicy
+from repro.sim.metrics import MetricsCollector
+from repro.sim.network import Network
+from repro.sim.process import Process
+from repro.sim.topology import apply_links
+from repro.sim.trace import TraceLog
+
+__all__ = ["ConsensusNode", "ConsensusSystem"]
+
+LinkMapFactory = Callable[[], Mapping[tuple[int, int], LinkPolicy]]
+
+
+class ConsensusNode:
+    """One machine: an Omega module plus an agreement process."""
+
+    def __init__(self, pid: int, omega: OmegaProtocol, agreement: Process) -> None:
+        self.pid = pid
+        self.omega = omega
+        self.agreement = agreement
+
+    def start(self) -> None:
+        """Start both layers."""
+        self.omega.start()
+        self.agreement.start()
+
+    def crash(self) -> None:
+        """Crash both layers at once — a node failure, not a link failure."""
+        self.omega.crash()
+        self.agreement.crash()
+
+    @property
+    def crashed(self) -> bool:
+        """Whether the node is down."""
+        return self.omega.crashed
+
+
+class ConsensusSystem:
+    """``n`` nodes running Omega + consensus over paired networks."""
+
+    def __init__(self, sim: Simulation, fd_network: Network,
+                 agreement_network: Network,
+                 nodes: dict[int, ConsensusNode]) -> None:
+        self.sim = sim
+        self.fd_network = fd_network
+        self.agreement_network = agreement_network
+        self.nodes = nodes
+
+    @classmethod
+    def build_single_decree(
+        cls,
+        n: int,
+        links_factory: LinkMapFactory,
+        proposals: Sequence[Any],
+        omega_name: str = "comm-efficient",
+        omega_config: OmegaConfig | None = None,
+        consensus_config: ConsensusConfig | None = None,
+        f: int | None = None,
+        seed: int = 0,
+        trace: bool = False,
+        metrics_window: float = 1.0,
+    ) -> "ConsensusSystem":
+        """Assemble a single-decree ensemble.
+
+        ``links_factory`` is called twice (fresh stateful policies per
+        network).  ``proposals[pid]`` is each node's initial value.
+        ``f`` is only needed by the ``"f-source"`` Omega.
+        """
+        if len(proposals) != n:
+            raise ValueError("need exactly one proposal per process")
+        sim = Simulation(seed=seed)
+        fd_network = cls._network(sim, links_factory, trace, metrics_window)
+        ag_network = cls._network(sim, links_factory, trace, metrics_window)
+
+        omega_factory = make_factory(omega_name, omega_config, n=n, f=f)
+        nodes: dict[int, ConsensusNode] = {}
+        for pid in range(n):
+            omega = omega_factory(pid, sim, fd_network)
+            agreement = SingleDecreeConsensus(
+                pid, sim, ag_network, n, proposals[pid],
+                leader_of=omega.leader, config=consensus_config,
+            )
+            nodes[pid] = ConsensusNode(pid, omega, agreement)
+        return cls(sim, fd_network, ag_network, nodes)
+
+    @classmethod
+    def build_replicated_log(
+        cls,
+        n: int,
+        links_factory: LinkMapFactory,
+        omega_name: str = "comm-efficient",
+        omega_config: OmegaConfig | None = None,
+        consensus_config: ConsensusConfig | None = None,
+        f: int | None = None,
+        seed: int = 0,
+        trace: bool = False,
+        metrics_window: float = 1.0,
+    ) -> "ConsensusSystem":
+        """Assemble a replicated-log ensemble (repeated consensus)."""
+        from repro.consensus.replica import LogReplica  # local: avoid cycle
+
+        sim = Simulation(seed=seed)
+        fd_network = cls._network(sim, links_factory, trace, metrics_window)
+        ag_network = cls._network(sim, links_factory, trace, metrics_window)
+
+        omega_factory = make_factory(omega_name, omega_config, n=n, f=f)
+        nodes: dict[int, ConsensusNode] = {}
+        for pid in range(n):
+            omega = omega_factory(pid, sim, fd_network)
+            replica = LogReplica(pid, sim, ag_network, n,
+                                 leader_of=omega.leader, config=consensus_config)
+            nodes[pid] = ConsensusNode(pid, omega, replica)
+        return cls(sim, fd_network, ag_network, nodes)
+
+    @classmethod
+    def build_compacting_log(
+        cls,
+        n: int,
+        links_factory: LinkMapFactory,
+        machine_factory: Callable[[], Any],
+        keep_tail: int = 32,
+        omega_name: str = "comm-efficient",
+        omega_config: OmegaConfig | None = None,
+        consensus_config: ConsensusConfig | None = None,
+        f: int | None = None,
+        seed: int = 0,
+        trace: bool = False,
+        metrics_window: float = 1.0,
+    ) -> "ConsensusSystem":
+        """Assemble a replicated log with compaction and state machines."""
+        from repro.consensus.compaction import CompactingReplica  # no cycle
+
+        sim = Simulation(seed=seed)
+        fd_network = cls._network(sim, links_factory, trace, metrics_window)
+        ag_network = cls._network(sim, links_factory, trace, metrics_window)
+
+        omega_factory = make_factory(omega_name, omega_config, n=n, f=f)
+        nodes: dict[int, ConsensusNode] = {}
+        for pid in range(n):
+            omega = omega_factory(pid, sim, fd_network)
+            replica = CompactingReplica(
+                pid, sim, ag_network, n, leader_of=omega.leader,
+                machine_factory=machine_factory, keep_tail=keep_tail,
+                config=consensus_config)
+            nodes[pid] = ConsensusNode(pid, omega, replica)
+        return cls(sim, fd_network, ag_network, nodes)
+
+    @staticmethod
+    def _network(sim: Simulation, links_factory: LinkMapFactory,
+                 trace: bool, metrics_window: float) -> Network:
+        network = Network(sim, trace=TraceLog(enabled=trace),
+                          metrics=MetricsCollector(window=metrics_window))
+        apply_links(network, links_factory())
+        return network
+
+    # ------------------------------------------------------------------
+    # Cluster-compatible surface (fault plans, runners)
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return len(self.nodes)
+
+    @property
+    def pids(self) -> list[int]:
+        """All pids, sorted."""
+        return sorted(self.nodes)
+
+    def node(self, pid: int) -> ConsensusNode:
+        """The node with this pid."""
+        return self.nodes[pid]
+
+    def crash(self, pid: int) -> None:
+        """Crash one node (both layers)."""
+        self.nodes[pid].crash()
+
+    def up_pids(self) -> list[int]:
+        """Pids of nodes still up."""
+        return [pid for pid in self.pids if not self.nodes[pid].crashed]
+
+    def start_all(self, stagger: float = 0.0) -> None:
+        """Start every node, optionally staggered."""
+        for index, pid in enumerate(self.pids):
+            node = self.nodes[pid]
+            if stagger > 0:
+                self.sim.call_at(index * stagger, node.start)
+            else:
+                node.start()
+
+    def run_until(self, deadline: float) -> None:
+        """Advance the simulated clock to ``deadline``."""
+        self.sim.run_until(deadline)
+
+    def run_for(self, duration: float) -> None:
+        """Advance the simulated clock by ``duration``."""
+        self.sim.run_for(duration)

@@ -1,0 +1,425 @@
+"""Repeated consensus: a replicated log with a stable-leader fast path.
+
+This is the paper's "consensus" deliverable in its long-lived form: an
+unbounded sequence of consensus instances (log slots) driven by Omega,
+with the classic multi-decree optimization — a leader establishes one
+ballot with a single prepare phase *covering all instances at once*, and
+thereafter commits each client command with one round trip:
+
+    leader --Propose--> all,   all --Accepted--> leader
+
+so in steady state only the ``2(n-1)`` leader-adjacent links carry
+traffic: the consensus analogue of the paper's communication efficiency
+(experiment E9).  Decisions additionally propagate through explicit
+``Decide``/``DecideAck`` exchanges (retransmitted until acknowledged —
+links may be fair-lossy) plus a safe piggyback: a ``Propose`` carries the
+leader's ``commit_through`` index, and a follower may mark an instance
+``i <= commit_through`` decided if *its accepted ballot for i equals the
+message's ballot* — then its accepted value is exactly the value the
+leader proposed (ballots propose a unique value per instance) and hence
+the decided one.
+
+Client commands enter through :meth:`LogReplica.submit` on any node;
+non-leaders forward pending commands to their Omega leader every tick
+(at-least-once, deduplicated by command id at propose and apply time).
+
+Safety is ballot-based exactly as in the single-decree protocol and
+does not depend on Omega; the property tests replay random schedules
+with duelling leaders, crashes and loss, asserting that committed
+prefixes never diverge.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+from repro.consensus.config import ConsensusConfig
+from repro.consensus.messages import (
+    BOTTOM_BALLOT,
+    Accepted,
+    Ballot,
+    Decide,
+    DecideAck,
+    Forward,
+    Nack,
+    Prepare,
+    Promise,
+    Propose,
+)
+from repro.sim.engine import Simulation
+from repro.sim.messages import Message
+from repro.sim.network import Network
+from repro.sim.process import Process
+
+__all__ = ["LogReplica", "NOOP"]
+
+_TICK = "tick"
+
+NOOP = None
+"""Filler value proposed for recovered-but-empty slots."""
+
+PHASE_FOLLOWER = "follower"
+PHASE_PREPARING = "preparing"
+PHASE_LEADING = "leading"
+
+
+class _OpenSlot:
+    """A leader-side in-flight instance."""
+
+    __slots__ = ("value", "acks")
+
+    def __init__(self, value: Any, acks: set[int]) -> None:
+        self.value = value
+        self.acks = acks
+
+
+class LogReplica(Process):
+    """One replica of the Omega-driven replicated log.
+
+    Parameters
+    ----------
+    pid, sim, network:
+        As for :class:`~repro.sim.process.Process`.
+    n:
+        Ensemble size; the quorum is ``n // 2 + 1``.
+    leader_of:
+        The Omega output for this node.
+    config:
+        Timing and pipelining knobs.
+    """
+
+    def __init__(self, pid: int, sim: Simulation, network: Network, n: int,
+                 leader_of: Callable[[], int],
+                 config: ConsensusConfig | None = None) -> None:
+        super().__init__(pid, sim, network)
+        if n < 2:
+            raise ValueError("n must be at least 2")
+        self.n = n
+        self.majority = n // 2 + 1
+        self.leader_of = leader_of
+        self.config = config if config is not None else ConsensusConfig()
+
+        # Acceptor state: one promise covering all instances, plus the
+        # per-instance accepted (ballot, value) map.
+        self.promised: Ballot = BOTTOM_BALLOT
+        self.accepted: dict[int, tuple[Ballot, Any]] = {}
+
+        # Learner state.
+        self.log: dict[int, Any] = {}
+        self.commit_index = -1  # highest i with 0..i all decided
+        self.committed_ids: set[Hashable] = set()
+        self.decision_times: dict[int, float] = {}
+        self._decide_acks: dict[int, set[int]] = {}
+        self._spread_cursor = 0
+
+        # Leader state.
+        self.phase = PHASE_FOLLOWER
+        self.ballot: Ballot | None = None
+        self._prepare_from = 0
+        self._promises: dict[int, tuple[tuple[int, tuple[Ballot, Any]], ...]] = {}
+        self._open: dict[int, _OpenSlot] = {}
+        self._next_instance = 0
+        self._max_round_seen = -1
+
+        # Client command intake (insertion ordered).
+        self.pending: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def submit(self, command_id: Hashable, command: Any) -> None:
+        """Hand a client command to this node (any node will do).
+
+        At-least-once: callers may resubmit; ids deduplicate everywhere.
+        """
+        if self.crashed or command_id in self.committed_ids:
+            return
+        if command_id not in self.pending:
+            self.pending[command_id] = command
+
+    def committed_prefix(self) -> list[Any]:
+        """Values of the contiguous decided prefix (``NOOP`` fillers included)."""
+        return [self.log[i] for i in range(self.commit_index + 1)]
+
+    def applied_commands(self) -> list[Any]:
+        """The state machine's view: prefix minus noops and duplicate ids."""
+        seen: set[Hashable] = set()
+        out: list[Any] = []
+        for entry in self.committed_prefix():
+            if entry is NOOP:
+                continue
+            command_id, command = entry
+            if command_id in seen:
+                continue
+            seen.add(command_id)
+            out.append(command)
+        return out
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        self.set_periodic(_TICK, self.config.tick)
+        self._drive()
+
+    def on_timer(self, key: Hashable) -> None:
+        if key == _TICK:
+            self._drive()
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+
+    def _drive(self) -> None:
+        self._spread_decisions()
+        if self.leader_of() != self.pid:
+            self.phase = PHASE_FOLLOWER
+            self._open.clear()
+            self._forward_pending()
+            return
+        if self.phase == PHASE_FOLLOWER:
+            self._start_prepare()
+        elif self.phase == PHASE_PREPARING:
+            self._send_prepares()
+        else:
+            self._pump_proposals()
+
+    def _forward_pending(self) -> None:
+        leader = self.leader_of()
+        if leader == self.pid or not self.pending:
+            return
+        for command_id, command in self.pending.items():
+            self.send(leader, Forward(self.pid, command_id, command))
+
+    # --- leadership acquisition ----------------------------------------
+
+    def _start_prepare(self) -> None:
+        self._max_round_seen += 1
+        self.ballot = Ballot(self._max_round_seen, self.pid)
+        self.phase = PHASE_PREPARING
+        self._prepare_from = self.commit_index + 1
+        self.promised = max(self.promised, self.ballot)
+        self._promises = {self.pid: self._accepted_report(self._prepare_from)}
+        self._send_prepares()
+        self._maybe_assume_leadership()
+
+    def _send_prepares(self) -> None:
+        assert self.ballot is not None
+        for peer in range(self.n):
+            if peer != self.pid and peer not in self._promises:
+                self.send(peer, Prepare(self.pid, self.ballot, self._prepare_from))
+
+    def _accepted_report(self, from_instance: int
+                         ) -> tuple[tuple[int, tuple[Ballot, Any]], ...]:
+        return tuple(sorted(
+            (instance, slot) for instance, slot in self.accepted.items()
+            if instance >= from_instance
+        ))
+
+    def _maybe_assume_leadership(self) -> None:
+        if self.phase != PHASE_PREPARING or len(self._promises) < self.majority:
+            return
+        assert self.ballot is not None
+        # Merge: per instance, the reported accepted value of the highest
+        # ballot must be re-proposed; unreported gaps get noops.
+        merged: dict[int, tuple[Ballot, Any]] = {}
+        for report in self._promises.values():
+            for instance, (ballot, value) in report:
+                current = merged.get(instance)
+                if current is None or ballot > current[0]:
+                    merged[instance] = (ballot, value)
+        self.phase = PHASE_LEADING
+        self._open = {}
+        top = max(merged) if merged else self._prepare_from - 1
+        for instance in range(self._prepare_from, top + 1):
+            reported = merged.get(instance)
+            value = reported[1] if reported is not None else NOOP
+            self._open_slot(instance, value)
+        self._next_instance = top + 1
+        self._pump_proposals()
+
+    # --- steady-state leading -------------------------------------------
+
+    def _pump_proposals(self) -> None:
+        assert self.ballot is not None
+        # Open new slots for pending commands, up to the pipeline budget.
+        # Commands stay in ``pending`` until committed — if leadership is
+        # lost mid-flight they are simply re-forwarded/re-proposed later,
+        # deduplicated by id here and at apply time.
+        for command_id, command in list(self.pending.items()):
+            if len(self._open) >= self.config.max_batch:
+                break
+            if command_id in self.committed_ids or self._is_in_flight(command_id):
+                continue
+            self._open_slot(self._next_instance, (command_id, command))
+            self._next_instance += 1
+        # (Re)transmit every open slot to peers that have not accepted.
+        for instance, slot in self._open.items():
+            for peer in range(self.n):
+                if peer != self.pid and peer not in slot.acks:
+                    self.send(peer, Propose(self.pid, self.ballot, instance,
+                                            slot.value, self.commit_index))
+
+    def _is_in_flight(self, command_id: Hashable) -> bool:
+        return any(
+            slot.value is not NOOP and slot.value[0] == command_id
+            for slot in self._open.values()
+        )
+
+    def _open_slot(self, instance: int, value: Any) -> None:
+        assert self.ballot is not None
+        # Self-accept.
+        self.accepted[instance] = (self.ballot, value)
+        self._open[instance] = _OpenSlot(value, {self.pid})
+        self._maybe_close(instance)
+
+    def _maybe_close(self, instance: int) -> None:
+        slot = self._open.get(instance)
+        if slot is None or len(slot.acks) < self.majority:
+            return
+        del self._open[instance]
+        self._learn(instance, slot.value)
+        # Only the deciding leader announces: followers learning through
+        # Decide or the commit piggyback must stay silent, or everyone
+        # would re-broadcast and communication efficiency would be lost.
+        self._decide_acks.setdefault(instance, {self.pid})
+
+    # --- decision propagation -------------------------------------------
+
+    def _spread_decisions(self) -> None:
+        # Retransmit unacknowledged decisions, capped per tick so a
+        # crashed peer (which will never ack) cannot turn every tick into
+        # a flood proportional to the log length.  The cap rotates
+        # round-robin over the unacked instances — picking "oldest first"
+        # would let instances blocked solely on a crashed peer starve the
+        # spreading of newer decisions forever.
+        done = [instance for instance, acks in self._decide_acks.items()
+                if len(acks) == self.n]
+        for instance in done:
+            del self._decide_acks[instance]
+        outstanding = sorted(self._decide_acks)
+        if not outstanding:
+            return
+        budget = min(self.config.max_batch, len(outstanding))
+        start = self._spread_cursor % len(outstanding)
+        self._spread_cursor += budget
+        for offset in range(budget):
+            instance = outstanding[(start + offset) % len(outstanding)]
+            acks = self._decide_acks[instance]
+            for peer in range(self.n):
+                if peer != self.pid and peer not in acks:
+                    self.send(peer, Decide(self.pid, instance, self.log[instance]))
+
+    def _learn(self, instance: int, value: Any) -> None:
+        known = self.log.get(instance)
+        if known is not None or instance in self.log:
+            if known != value:  # pragma: no cover - would be a safety bug
+                raise AssertionError(
+                    f"replica {self.pid} instance {instance}: "
+                    f"{known!r} vs {value!r}"
+                )
+            return
+        self.log[instance] = value
+        self.decision_times[instance] = self.now
+        if value is not NOOP:
+            self.committed_ids.add(value[0])
+            self.pending.pop(value[0], None)
+        while self.commit_index + 1 in self.log:
+            self.commit_index += 1
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        if isinstance(message, Prepare):
+            self._on_prepare(message)
+        elif isinstance(message, Promise):
+            self._on_promise(message)
+        elif isinstance(message, Propose):
+            self._on_propose(message)
+        elif isinstance(message, Accepted):
+            self._on_accepted(message)
+        elif isinstance(message, Nack):
+            self._on_nack(message)
+        elif isinstance(message, Decide):
+            self._on_decide(message)
+        elif isinstance(message, DecideAck):
+            acks = self._decide_acks.get(message.instance)
+            if acks is not None:
+                acks.add(message.sender)
+        elif isinstance(message, Forward):
+            self.submit(message.command_id, message.command)
+
+    # --- acceptor --------------------------------------------------------
+
+    def _on_prepare(self, message: Prepare) -> None:
+        self._observe_round(message.ballot)
+        if message.ballot >= self.promised:
+            self.promised = message.ballot
+            self.send(message.sender, Promise(
+                self.pid, message.ballot, message.from_instance,
+                self._accepted_report(message.from_instance)))
+        else:
+            self.send(message.sender,
+                      Nack(self.pid, message.ballot, -1, self.promised))
+
+    def _on_propose(self, message: Propose) -> None:
+        self._observe_round(message.ballot)
+        if message.ballot >= self.promised:
+            self.promised = message.ballot
+            self.accepted[message.instance] = (message.ballot, message.value)
+            self.send(message.sender,
+                      Accepted(self.pid, message.ballot, message.instance))
+            self._apply_commit_hint(message)
+        else:
+            self.send(message.sender, Nack(self.pid, message.ballot,
+                                           message.instance, self.promised))
+
+    def _apply_commit_hint(self, message: Propose) -> None:
+        # Safe piggyback (see module docstring): an instance at or below
+        # the leader's commit index whose accepted ballot *is* the
+        # message's ballot holds exactly the leader's (decided) value.
+        for instance in range(self.commit_index + 1,
+                              message.commit_through + 1):
+            slot = self.accepted.get(instance)
+            if slot is not None and slot[0] == message.ballot \
+                    and instance not in self.log:
+                self._learn(instance, slot[1])
+
+    # --- leader ----------------------------------------------------------
+
+    def _on_promise(self, message: Promise) -> None:
+        if (self.phase != PHASE_PREPARING or message.ballot != self.ballot
+                or message.from_instance != self._prepare_from):
+            return
+        self._promises[message.sender] = message.accepted
+        self._maybe_assume_leadership()
+
+    def _on_accepted(self, message: Accepted) -> None:
+        if self.phase != PHASE_LEADING or message.ballot != self.ballot:
+            return
+        slot = self._open.get(message.instance)
+        if slot is not None:
+            slot.acks.add(message.sender)
+            self._maybe_close(message.instance)
+
+    def _on_nack(self, message: Nack) -> None:
+        self._observe_round(message.promised)
+        if message.ballot == self.ballot and self.phase != PHASE_FOLLOWER:
+            # Someone promised higher: fall back; commands in open slots
+            # that fail to commit re-enter via client re-forwarding.
+            self.phase = PHASE_FOLLOWER
+            self._open.clear()
+
+    def _observe_round(self, ballot: Ballot) -> None:
+        self._max_round_seen = max(self._max_round_seen, ballot.round)
+
+    # --- learner ----------------------------------------------------------
+
+    def _on_decide(self, message: Decide) -> None:
+        self._learn(message.instance, message.value)
+        self.send(message.sender, DecideAck(self.pid, message.instance))

@@ -1,0 +1,103 @@
+"""Rotating-coordinator leadership: the pre-Omega baseline paradigm.
+
+Before Omega-style leader election, indulgent consensus protocols used
+the *rotating coordinator* paradigm: round r is owned by process
+``r mod n``, each process gives the current owner a fixed slice of time,
+and when the slice expires the next owner takes over — no failure
+detection at all.  Liveness then relies on rotation eventually landing,
+for long enough, on a correct process while enough of the system agrees
+who currently owns the slot.
+
+:class:`RotatingLeaderOracle` packages that paradigm in the shape our
+consensus processes expect (a ``leader_of`` callable), so the same
+ballot protocol can run under either leadership regime and experiment
+E13 can compare them head-to-head — the comparison that motivates
+communication-efficient Omega in the first place:
+
+* rotation keeps proposing through *crashed* owners' slots forever,
+  wasting whole slices and unbounded retries;
+* rotation causes periodic duels at every slot boundary (two owners
+  overlap while clocks disagree), each costing Nack/re-prepare rounds;
+* Omega pays once, at election time, and then drives every decision
+  through one stable proposer.
+
+:func:`build_rotating_single_decree` assembles a single-decree ensemble
+where every node runs on local rotation instead of a failure detector.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.consensus.config import ConsensusConfig
+from repro.consensus.single import SingleDecreeConsensus
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Simulation
+from repro.sim.links import LinkPolicy
+from repro.sim.network import Network
+
+__all__ = ["RotatingLeaderOracle", "build_rotating_single_decree"]
+
+
+class RotatingLeaderOracle:
+    """``leader_of`` by time slice: slot k belongs to ``k mod n``.
+
+    Parameters
+    ----------
+    sim:
+        The simulation whose clock drives the rotation (in a real
+        deployment each node would use its local clock; simulated local
+        clocks are exact, which is the *best case* for rotation — the
+        baseline is not handicapped).
+    n:
+        Number of processes.
+    slot:
+        Length of each owner's slice.
+    offset:
+        Per-process clock offset (use to model desynchronized rotation).
+    """
+
+    def __init__(self, sim: Simulation, n: int, slot: float = 4.0,
+                 offset: float = 0.0) -> None:
+        if n < 1:
+            raise ValueError("n must be positive")
+        if slot <= 0:
+            raise ValueError("slot must be positive")
+        self.sim = sim
+        self.n = n
+        self.slot = slot
+        self.offset = offset
+
+    def current_owner(self) -> int:
+        """The pid owning the current time slice."""
+        return int((self.sim.now + self.offset) / self.slot) % self.n
+
+    def oracle_for(self, pid: int) -> Callable[[], int]:
+        """The ``leader_of`` callable for process ``pid``."""
+        return self.current_owner
+
+
+def build_rotating_single_decree(
+    n: int,
+    links_factory: Callable[[], Mapping[tuple[int, int], LinkPolicy]],
+    proposals: Sequence[Any],
+    slot: float = 4.0,
+    config: ConsensusConfig | None = None,
+    seed: int = 0,
+) -> Cluster:
+    """A single-decree ensemble driven by rotation instead of Omega.
+
+    Returns a plain :class:`Cluster` of
+    :class:`~repro.consensus.single.SingleDecreeConsensus` processes (no
+    failure-detector network exists — that is the point).
+    """
+    if len(proposals) != n:
+        raise ValueError("need exactly one proposal per process")
+
+    def factory(pid: int, sim: Simulation, network: Network):  # noqa: ANN202
+        oracle = RotatingLeaderOracle(sim, n, slot=slot)
+        return SingleDecreeConsensus(pid, sim, network, n, proposals[pid],
+                                     leader_of=oracle.oracle_for(pid),
+                                     config=config)
+
+    return Cluster.build(n, factory, links=links_factory(), seed=seed)

@@ -1,0 +1,199 @@
+"""State-machine replication on top of the replicated log.
+
+The classic use of repeated consensus: every replica applies the same
+committed command sequence to a deterministic state machine and thereby
+maintains an identical copy of the state.  This module provides
+
+* :class:`StateMachine` — the interface (``apply(command) -> result``);
+* :class:`KeyValueStore` — a dictionary machine with ``set``/``delete``/
+  ``cas`` commands (the standard demo and test workhorse);
+* :class:`CounterMachine` — the minimal increment/decrement machine;
+* :class:`ReplicatedStateMachine` — binds a machine to a
+  :class:`~repro.consensus.replica.LogReplica`: ``sync()`` applies newly
+  committed entries in log order, deduplicating retried commands by id
+  (exactly-once application on top of the log's at-least-once intake).
+
+Commands are plain tuples, so they travel through the log unchanged.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Hashable
+
+from repro.consensus.replica import LogReplica
+
+__all__ = [
+    "StateMachine",
+    "KeyValueStore",
+    "CounterMachine",
+    "JournalMachine",
+    "ReplicatedStateMachine",
+]
+
+
+class StateMachine(ABC):
+    """A deterministic state machine driven by committed commands."""
+
+    @abstractmethod
+    def apply(self, command: Any) -> Any:
+        """Apply one command and return its result.
+
+        Must be deterministic: identical command sequences yield
+        identical states and results on every replica.
+        """
+
+    @abstractmethod
+    def snapshot(self) -> Any:
+        """An immutable, comparable view of the current state."""
+
+    @abstractmethod
+    def restore(self, snapshot: Any) -> None:
+        """Replace the state with a previously taken :meth:`snapshot`.
+
+        Used by log compaction (:mod:`repro.consensus.compaction`) to
+        install a transferred snapshot on a lagging replica.
+        """
+
+
+class KeyValueStore(StateMachine):
+    """A replicated dictionary.
+
+    Commands
+    --------
+    ``("set", key, value)``
+        Store ``value``; returns the previous value (or None).
+    ``("delete", key)``
+        Remove ``key``; returns whether it existed.
+    ``("cas", key, expected, value)``
+        Compare-and-swap; returns True on success.
+    """
+
+    def __init__(self) -> None:
+        self._data: dict[Hashable, Any] = {}
+
+    def apply(self, command: Any) -> Any:
+        op = command[0]
+        if op == "set":
+            _, key, value = command
+            previous = self._data.get(key)
+            self._data[key] = value
+            return previous
+        if op == "delete":
+            _, key = command
+            return self._data.pop(key, _MISSING) is not _MISSING
+        if op == "cas":
+            _, key, expected, value = command
+            if self._data.get(key) == expected:
+                self._data[key] = value
+                return True
+            return False
+        raise ValueError(f"unknown KeyValueStore command {command!r}")
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Local read (not linearizable: reads the replica's own state)."""
+        return self._data.get(key, default)
+
+    def snapshot(self) -> Any:
+        return tuple(sorted(self._data.items()))
+
+    def restore(self, snapshot: Any) -> None:
+        self._data = dict(snapshot)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+_MISSING = object()
+
+
+class CounterMachine(StateMachine):
+    """A replicated integer counter (commands ``"inc"`` / ``"dec"``)."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def apply(self, command: Any) -> Any:
+        if command == "inc":
+            self.value += 1
+        elif command == "dec":
+            self.value -= 1
+        else:
+            raise ValueError(f"unknown CounterMachine command {command!r}")
+        return self.value
+
+    def snapshot(self) -> Any:
+        return self.value
+
+    def restore(self, snapshot: Any) -> None:
+        self.value = int(snapshot)
+
+
+class JournalMachine(StateMachine):
+    """A machine that simply records every command, in order.
+
+    The generic default for tests and workloads whose commands carry no
+    structure: its snapshot *is* the applied-command sequence, which
+    makes replica-equality assertions trivial.
+    """
+
+    def __init__(self) -> None:
+        self.entries: list[Any] = []
+
+    def apply(self, command: Any) -> Any:
+        self.entries.append(command)
+        return len(self.entries)
+
+    def snapshot(self) -> Any:
+        return tuple(self.entries)
+
+    def restore(self, snapshot: Any) -> None:
+        self.entries = list(snapshot)
+
+
+class ReplicatedStateMachine:
+    """One replica's state machine, fed from its log's committed prefix.
+
+    ``sync()`` is pull-based: call it whenever fresh results are needed
+    (simulated processes have no background threads).  Application is
+    idempotent per command id, so at-least-once command intake still
+    yields exactly-once state transitions.
+    """
+
+    def __init__(self, replica: LogReplica, machine: StateMachine) -> None:
+        self.replica = replica
+        self.machine = machine
+        self.results: dict[Hashable, Any] = {}
+        self._applied_through = -1
+        self._applied_ids: set[Hashable] = set()
+
+    def sync(self) -> int:
+        """Apply all newly committed entries; return how many were applied."""
+        applied = 0
+        while self._applied_through < self.replica.commit_index:
+            self._applied_through += 1
+            entry = self.replica.log[self._applied_through]
+            if entry is None:  # noop filler
+                continue
+            command_id, command = entry
+            if command_id in self._applied_ids:
+                continue  # duplicate proposal of a retried command
+            self._applied_ids.add(command_id)
+            self.results[command_id] = self.machine.apply(command)
+            applied += 1
+        return applied
+
+    @property
+    def applied_through(self) -> int:
+        """Highest log instance applied so far."""
+        return self._applied_through
+
+    def result_of(self, command_id: Hashable) -> Any:
+        """The (synced) result of a command, or None if not applied yet."""
+        self.sync()
+        return self.results.get(command_id)
+
+    def snapshot(self) -> Any:
+        """The machine's state after syncing."""
+        self.sync()
+        return self.machine.snapshot()

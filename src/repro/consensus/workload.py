@@ -1,0 +1,125 @@
+"""Client workload for the replicated log.
+
+:class:`LogWorkload` plays the role of the paper-world "clients": it
+submits a stream of commands into the system at a configurable rate and
+keeps resubmitting every command until it observes it committed, giving
+at-least-once delivery end to end (the log deduplicates by command id).
+
+Submission targets rotate over the *currently up* nodes, so the workload
+also exercises the forwarding path (non-leaders forward to their Omega
+leader) and survives leader crashes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.consensus.node import ConsensusSystem
+from repro.consensus.replica import LogReplica
+
+__all__ = ["LogWorkload"]
+
+
+class LogWorkload:
+    """Submit ``count`` commands at ``period`` intervals, then retry to done.
+
+    Parameters
+    ----------
+    system:
+        A replicated-log :class:`ConsensusSystem`.
+    count:
+        Number of distinct commands.
+    period:
+        Simulated time between first submissions.
+    start:
+        Time of the first submission.
+    retry_period:
+        How often unfinished commands are resubmitted (to a possibly
+        different node).
+    """
+
+    def __init__(self, system: ConsensusSystem, count: int, period: float,
+                 start: float = 0.0, retry_period: float = 5.0) -> None:
+        if count < 1:
+            raise ValueError("count must be at least 1")
+        if period <= 0 or retry_period <= 0:
+            raise ValueError("periods must be positive")
+        self.system = system
+        self.count = count
+        self.period = period
+        self.retry_period = retry_period
+        self.commands = {index: f"cmd-{index}" for index in range(count)}
+        self.submit_times: dict[int, float] = {}
+        self._cursor = 0
+        system.sim.call_at(start, self._submit_next)
+        system.sim.call_at(start + retry_period, self._retry)
+
+    @property
+    def submitted(self) -> set[Any]:
+        """All command payloads this workload ever injected."""
+        return set(self.commands.values())
+
+    def commit_latency(self, pid: int) -> dict[int, float]:
+        """Per-command submit→commit latency as observed at node ``pid``."""
+        replica = self._replica(pid)
+        out: dict[int, float] = {}
+        for entry in replica.committed_prefix():
+            if entry is None:
+                continue
+            command_id, _ = entry
+            decided_at = None
+            for instance, value in replica.log.items():
+                if value is entry:
+                    decided_at = replica.decision_times[instance]
+                    break
+            if decided_at is not None and command_id in self.submit_times:
+                out[command_id] = decided_at - self.submit_times[command_id]
+        return out
+
+    def done(self) -> bool:
+        """Whether every command is committed at some up-to-date node."""
+        committed = self._committed_ids()
+        return set(self.commands) <= committed
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _replica(self, pid: int) -> LogReplica:
+        replica = self.system.node(pid).agreement
+        assert isinstance(replica, LogReplica)
+        return replica
+
+    def _committed_ids(self) -> set[int]:
+        out: set[int] = set()
+        for pid in self.system.up_pids():
+            out |= {cid for cid in self._replica(pid).committed_ids}
+        return out
+
+    def _pick_target(self, command_id: int) -> int | None:
+        up = self.system.up_pids()
+        if not up:
+            return None
+        return up[command_id % len(up)]
+
+    def _submit_next(self) -> None:
+        if self._cursor >= self.count:
+            return
+        command_id = self._cursor
+        self._cursor += 1
+        target = self._pick_target(command_id)
+        if target is not None:
+            self.submit_times.setdefault(command_id, self.system.sim.now)
+            self._replica(target).submit(command_id, self.commands[command_id])
+        self.system.sim.call_after(self.period, self._submit_next)
+
+    def _retry(self) -> None:
+        committed = self._committed_ids()
+        for command_id in range(min(self._cursor, self.count)):
+            if command_id in committed:
+                continue
+            target = self._pick_target(command_id + 1)  # rotate targets
+            if target is not None:
+                self._replica(target).submit(command_id,
+                                             self.commands[command_id])
+        self.system.sim.call_after(self.retry_period, self._retry)

@@ -1,0 +1,61 @@
+"""The paper's contribution: Omega failure detectors under limited link synchrony.
+
+Four algorithms (see DESIGN.md §1.5 for the reconstruction notes):
+
+* :class:`AllTimelyOmega` — pre-paper baseline; needs every link ◇timely.
+* :class:`SourceOmega` — R1: one eventually timely source suffices.
+* :class:`CommEfficientOmega` — R2, the headline: eventually only the
+  leader sends messages.
+* :class:`FSourceOmega` — R3: an ◇f-source (only f timely output links)
+  suffices, via quorum-confirmed suspicion counters.
+
+Plus the run checker (:func:`analyze_omega_run`,
+:func:`communication_report`) that turns a finished simulation into the
+verdicts the experiments report.
+"""
+
+from repro.core.all_timely import AllTimelyOmega
+from repro.core.checker import (
+    CommunicationReport,
+    OmegaRunReport,
+    analyze_omega_run,
+    communication_report,
+)
+from repro.core.comm_efficient import CommEfficientOmega
+from repro.core.config import AdaptiveTimeouts, OmegaConfig
+from repro.core.f_source import FSourceOmega
+from repro.core.messages import Accusation, Alive, FsAlive, Heartbeat, Suspect
+from repro.core.omega import OmegaProtocol
+from repro.core.registry import OMEGA_ALGORITHMS, algorithm_class, make_factory
+from repro.core.qos import OmegaQoS, measure_qos, output_at
+from repro.core.relay import Relay, SeenTracker, make_relayed, origins_between
+from repro.core.source_omega import SourceOmega
+
+__all__ = [
+    "AllTimelyOmega",
+    "CommunicationReport",
+    "OmegaRunReport",
+    "analyze_omega_run",
+    "communication_report",
+    "CommEfficientOmega",
+    "AdaptiveTimeouts",
+    "OmegaConfig",
+    "FSourceOmega",
+    "Accusation",
+    "Alive",
+    "FsAlive",
+    "Heartbeat",
+    "Suspect",
+    "OmegaProtocol",
+    "OMEGA_ALGORITHMS",
+    "algorithm_class",
+    "make_factory",
+    "OmegaQoS",
+    "measure_qos",
+    "output_at",
+    "Relay",
+    "SeenTracker",
+    "make_relayed",
+    "origins_between",
+    "SourceOmega",
+]

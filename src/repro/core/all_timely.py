@@ -1,0 +1,78 @@
+"""Baseline Omega for systems where *every* link is eventually timely.
+
+This is the pre-paper state of the art (à la Larrea, Fernández, Arévalo
+2000): each process heartbeats to everyone, keeps a suspicion list based
+on adaptive timeouts, and trusts the smallest-id unsuspected process.
+
+Correctness sketch (all links ◇timely, crash-stop):
+
+* After GST, heartbeats from a correct process arrive within δ.  Each
+  false suspicion grows the accuser's timeout, so per ordered pair there
+  are finitely many false suspicions; eventually no correct process is
+  suspected by any correct process.
+* A crashed process falls silent forever, its watch timer fires one last
+  time, and it stays suspected forever (the watch only re-arms on
+  receipt).
+* Hence eventually every correct process computes the same minimum —
+  the smallest-id correct process.
+
+Cost: every process sends ``n - 1`` messages every η forever — Θ(n²)
+links carry messages forever.  This is exactly the inefficiency the
+paper's communication-efficient algorithm removes, and the baseline
+against which experiments E2/E3 compare.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.messages import Heartbeat
+from repro.core.omega import OmegaProtocol
+from repro.sim.messages import Message
+
+__all__ = ["AllTimelyOmega"]
+
+_HEARTBEAT = "heartbeat"
+
+
+class AllTimelyOmega(OmegaProtocol):
+    """Omega via all-to-all heartbeats and local suspicion lists."""
+
+    def __init__(self, pid, sim, network, config=None):  # noqa: ANN001
+        super().__init__(pid, sim, network, config)
+        self.suspected: set[int] = set()
+        self._known: set[int] = {pid}
+
+    def on_start(self) -> None:
+        super().on_start()
+        self.set_periodic(_HEARTBEAT, self.config.eta)
+        self.broadcast(Heartbeat(self.pid))
+        self._recompute()
+
+    def on_timer(self, key: Hashable) -> None:
+        if key == _HEARTBEAT:
+            self.broadcast(Heartbeat(self.pid))
+            return
+        kind, peer = key
+        if kind != "watch":  # pragma: no cover - no other timers exist
+            return
+        # The peer went silent past its timeout: suspect it.  Grow the
+        # timeout so that, if the suspicion was false, the next one needs
+        # a longer silence; do not re-arm — only a fresh heartbeat can
+        # clear the suspicion and restart the watch.
+        self.suspected.add(peer)
+        self.timeouts.grow(peer)
+        self._recompute()
+
+    def on_message(self, message: Message) -> None:
+        if not isinstance(message, Heartbeat):
+            return
+        peer = message.sender
+        self._known.add(peer)
+        self.suspected.discard(peer)
+        self.set_timer(("watch", peer), self.timeouts.get(peer))
+        self._recompute()
+
+    def _recompute(self) -> None:
+        trusted = (self._known - self.suspected) | {self.pid}
+        self._output(min(trusted))

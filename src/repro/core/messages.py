@@ -1,0 +1,108 @@
+"""Wire messages of the Omega algorithms.
+
+Four message classes cover the whole leader-election layer:
+
+:class:`Heartbeat`
+    The baseline's unconditional I-am-alive beacon.
+
+:class:`Alive`
+    Candidate heartbeat carrying the sender's *accusation counter* (its
+    leadership priority — smaller is better) and its current *phase*
+    (incremented with the counter so stale accusations can be told apart).
+
+:class:`Accusation`
+    "Your heartbeat timed out on me", sent to the suspected leader,
+    echoing the phase of the last ``Alive`` the accuser saw.  On a
+    matching phase the accused increments its own counter.
+
+:class:`FsAlive` / :class:`Suspect`
+    The ◇f-source algorithm's heartbeat (gossiping the full counter
+    vector, max-merged by receivers) and its broadcast suspicion notice
+    ("I timed out on ``target`` during its epoch ``epoch``"); counters
+    advance only when ``n - f`` distinct suspectors of the same epoch
+    are observed.
+
+All are frozen dataclasses; the default fairness type (the class name)
+is the right granularity for the typed fair-lossy links — each protocol
+sends each class on a given link infinitely often whenever it matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.messages import Message
+
+__all__ = ["Heartbeat", "Alive", "Accusation", "FsAlive", "Suspect"]
+
+
+@dataclass(frozen=True)
+class Heartbeat(Message):
+    """Plain heartbeat of the all-timely baseline."""
+
+
+@dataclass(frozen=True)
+class Alive(Message):
+    """Leader-candidate heartbeat with priority and phase.
+
+    Attributes
+    ----------
+    counter:
+        The sender's accusation counter; ``(counter, sender)`` is its
+        leadership priority, smallest wins.
+    phase:
+        The sender's accusation phase; accusations must echo it to count.
+    """
+
+    counter: int
+    phase: int
+
+
+@dataclass(frozen=True)
+class Accusation(Message):
+    """Timeout report sent to the process whose heartbeat went silent.
+
+    Attributes
+    ----------
+    target:
+        The accused process (also the message's destination; carried in
+        the payload so handlers need not trust routing).
+    phase:
+        Phase of the last ``Alive`` the accuser received from the target.
+    """
+
+    target: int
+    phase: int
+
+
+@dataclass(frozen=True)
+class FsAlive(Message):
+    """◇f-source algorithm heartbeat gossiping the counter vector.
+
+    Attributes
+    ----------
+    counters:
+        The sender's current view of every process's accusation counter,
+        indexed by pid.  Receivers max-merge componentwise (counters are
+        monotone, so the merge converges).
+    """
+
+    counters: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Suspect(Message):
+    """Broadcast suspicion for the quorum-confirmed counters of R3.
+
+    Attributes
+    ----------
+    target:
+        The suspected process.
+    epoch:
+        The suspecting process's current value of ``counter[target]``;
+        a counter only advances past ``epoch`` once ``n - f`` distinct
+        processes have suspected that same epoch.
+    """
+
+    target: int
+    epoch: int

@@ -1,0 +1,72 @@
+"""Base class for Omega (eventual leader election) implementations.
+
+An Omega module continuously outputs one process id — the process it
+currently *trusts*.  The Omega property (DESIGN.md §1.2) asks that
+eventually all correct processes trust the same correct process forever.
+
+:class:`OmegaProtocol` supplies what every algorithm in this repository
+needs: the configuration, the adaptive timeout table, and an exact
+*output history* — every change of the trusted leader is recorded with
+its simulated timestamp, so the checker can compute stabilization times
+without sampling error.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import AdaptiveTimeouts, OmegaConfig
+from repro.sim.engine import Simulation
+from repro.sim.network import Network
+from repro.sim.process import Process
+
+__all__ = ["OmegaProtocol"]
+
+
+class OmegaProtocol(Process):
+    """A process running an Omega failure detector.
+
+    Subclasses drive :meth:`_output` whenever their trusted leader
+    changes; the current value is exposed as :meth:`leader`.
+
+    Parameters
+    ----------
+    pid, sim, network:
+        As for :class:`~repro.sim.process.Process`.
+    config:
+        Shared tunables (heartbeat period, timeouts, growth policy).
+    """
+
+    def __init__(self, pid: int, sim: Simulation, network: Network,
+                 config: OmegaConfig | None = None) -> None:
+        super().__init__(pid, sim, network)
+        self.config = config if config is not None else OmegaConfig()
+        self.timeouts = AdaptiveTimeouts(self.config)
+        self._leader: int = pid
+        self.history: list[tuple[float, int]] = []
+
+    # ------------------------------------------------------------------
+    # Omega interface
+    # ------------------------------------------------------------------
+
+    def leader(self) -> int:
+        """The process this module currently trusts."""
+        return self._leader
+
+    @property
+    def leader_changes(self) -> int:
+        """How many times the output changed after the initial value."""
+        return max(0, len(self.history) - 1)
+
+    # ------------------------------------------------------------------
+    # Subclass plumbing
+    # ------------------------------------------------------------------
+
+    def _output(self, leader: int) -> None:
+        """Set the trusted leader, recording the change in the history."""
+        if self.history and leader == self._leader:
+            return
+        self._leader = leader
+        self.history.append((self.now, leader))
+
+    def on_start(self) -> None:
+        """Record the initial output; subclasses call ``super().on_start()``."""
+        self.history.append((self.now, self._leader))

@@ -1,0 +1,220 @@
+"""Message relaying: Omega under eventually timely *paths* (extension).
+
+The paper's systems demand direct timely links from the source.  The
+standard relaxation — discussed in this research line for both the
+PODC 2003/2004 algorithms and their descendants — is *relaying*: the
+first time a process receives a message it re-broadcasts it before
+consuming it.  Every algorithm then works when there is merely an
+eventually timely **path** from the source to each process: each hop
+adds at most δ, so an L-hop path behaves like a direct link with bound
+L·δ, which adaptive timeouts absorb.
+
+Mechanics
+---------
+:class:`Relay` wraps an inner protocol message with ``(origin, seq)``
+so duplicates can be recognized (the model's links never duplicate, so
+any duplicate seen was created by the flood itself).  A relaying
+process:
+
+* floods every message it *originates* (broadcasts go to everyone;
+  point-to-point sends — e.g. accusations — are flooded too, tagged with
+  the intended target so only the target consumes the payload);
+* on first receipt of an envelope, re-broadcasts it to everyone except
+  the origin and the hop it arrived from, then consumes the payload if
+  it is the intended recipient (or the payload was a broadcast).
+
+Duplicate suppression uses a per-origin compacting tracker
+(:class:`SeenTracker`): sequence numbers are allocated contiguously per
+origin, so the tracker keeps only a floor plus the sparse set above it —
+O(in-flight) memory instead of O(history).
+
+Communication efficiency *sensu stricto* is deliberately given up —
+relays forward the leader's heartbeats forever.  What survives, exactly
+as the literature notes, is efficiency in *originated* messages:
+eventually only the leader originates.  :func:`origins_between` measures
+that, and the relayed experiments report it instead of raw sender
+counts.
+
+Use :func:`make_relayed` to lift any Omega class to its relaying
+variant, e.g. ``make_relayed(CommEfficientOmega)``, and pair it with
+:func:`repro.sim.topology.relay_tree_links` — a topology whose only
+timely links form a source→hub→everyone tree, on which the *unrelayed*
+algorithms provably fail (see ``tests/test_relay.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.core.omega import OmegaProtocol
+from repro.sim.messages import Message
+
+__all__ = ["Relay", "SeenTracker", "make_relayed", "origins_between"]
+
+BROADCAST = -1
+"""Target value of a flooded broadcast (every process consumes)."""
+
+
+@dataclass(frozen=True)
+class Relay(Message):
+    """Flooded envelope around an inner protocol message.
+
+    Attributes
+    ----------
+    origin:
+        The process that originated (first sent) the inner message.
+        ``sender`` is the *hop* the envelope arrived from; ``origin``
+        stays fixed across re-broadcasts.
+    seq:
+        Origin-local sequence number; ``(origin, seq)`` identifies the
+        message for duplicate suppression.
+    target:
+        Intended consumer pid, or ``BROADCAST``.
+    inner:
+        The wrapped protocol message (its ``sender`` equals ``origin``).
+    """
+
+    origin: int
+    seq: int
+    target: int
+    inner: Message
+
+    def fairness_key(self) -> Hashable:
+        # Typed fairness must distinguish floods of different inner
+        # types and different origins, or one chatty origin could starve
+        # another's envelopes on a shared fair-lossy link.
+        return ("Relay", self.origin, self.inner.fairness_key())
+
+
+class SeenTracker:
+    """Compacting duplicate detector for per-origin sequence numbers.
+
+    Sequence numbers per origin are allocated 0, 1, 2, …; the tracker
+    stores a contiguous ``floor`` (everything below is seen) plus the
+    sparse set of seen numbers at or above it.  A message that every
+    copy of which was lost leaves a permanent gap, so when the sparse
+    set outgrows ``sparse_limit`` the floor is advanced past the oldest
+    gaps — treating those irrecoverably lost sequence numbers as seen,
+    which is semantically harmless (links may lose messages anyway) and
+    keeps memory at O(in-flight).
+    """
+
+    def __init__(self, sparse_limit: int = 256) -> None:
+        if sparse_limit < 1:
+            raise ValueError("sparse_limit must be at least 1")
+        self.sparse_limit = sparse_limit
+        self._floor: dict[int, int] = {}
+        self._sparse: dict[int, set[int]] = {}
+
+    def check_and_add(self, origin: int, seq: int) -> bool:
+        """Return True if ``(origin, seq)`` was seen before; record it."""
+        floor = self._floor.get(origin, 0)
+        if seq < floor:
+            return True
+        sparse = self._sparse.setdefault(origin, set())
+        if seq in sparse:
+            return True
+        sparse.add(seq)
+        while floor in sparse:
+            sparse.remove(floor)
+            floor += 1
+        while len(sparse) > self.sparse_limit:
+            floor = min(sparse)
+            while floor in sparse:
+                sparse.remove(floor)
+                floor += 1
+        self._floor[origin] = floor
+        return False
+
+    def seen_count(self, origin: int) -> int:
+        """How many distinct messages from ``origin`` were recorded."""
+        return self._floor.get(origin, 0) + len(self._sparse.get(origin, ()))
+
+
+def make_relayed(base: type[OmegaProtocol]) -> type[OmegaProtocol]:
+    """The relaying variant of an Omega protocol class.
+
+    The returned class floods everything the base class sends and
+    forwards everything it first sees; the base class's logic is
+    otherwise untouched.  The class is cached on the base so repeated
+    calls return the same type.
+    """
+    cached = getattr(base, "_relayed_variant", None)
+    if cached is not None:
+        return cached
+
+    class RelayedOmega(base):  # type: ignore[misc, valid-type]
+        """Relaying wrapper generated by :func:`make_relayed`."""
+
+        def __init__(self, *args, **kwargs) -> None:  # noqa: ANN002, ANN003
+            super().__init__(*args, **kwargs)
+            self._relay_seq = 0
+            self._relay_seen = SeenTracker()
+            self.origination_times: list[float] = []
+
+        # -- origination: wrap what the base protocol sends ------------
+
+        def broadcast(self, message: Message) -> None:
+            self._originate(message, BROADCAST)
+
+        def send(self, dst: int, message: Message) -> None:
+            if isinstance(message, Relay):
+                # Internal flood hop (from _flood below): pass through.
+                super().send(dst, message)
+                return
+            self._originate(message, dst)
+
+        def _originate(self, inner: Message, target: int) -> None:
+            if self.crashed:
+                return
+            seq = self._relay_seq
+            self._relay_seq += 1
+            self._relay_seen.check_and_add(self.pid, seq)
+            self.origination_times.append(self.now)
+            self._flood(Relay(self.pid, self.pid, seq, target, inner),
+                        arrived_from=None)
+
+        # -- forwarding and consumption ---------------------------------
+
+        def on_message(self, message: Message) -> None:
+            if not isinstance(message, Relay):
+                # A non-relayed peer's message (mixed deployments are not
+                # supported; drop rather than misinterpret).
+                return
+            if self._relay_seen.check_and_add(message.origin, message.seq):
+                return
+            self._flood(message, arrived_from=message.sender)
+            if message.target in (BROADCAST, self.pid):
+                super().on_message(message.inner)
+
+        def _flood(self, envelope: Relay, arrived_from: int | None) -> None:
+            hop = Relay(self.pid, envelope.origin, envelope.seq,
+                        envelope.target, envelope.inner)
+            for peer in self.network.pids:
+                if peer in (self.pid, envelope.origin, arrived_from):
+                    continue
+                super().send(peer, hop)
+
+    RelayedOmega.__name__ = f"Relayed{base.__name__}"
+    RelayedOmega.__qualname__ = RelayedOmega.__name__
+    base._relayed_variant = RelayedOmega
+    return RelayedOmega
+
+
+def origins_between(cluster, start: float, end: float) -> set[int]:  # noqa: ANN001
+    """Pids that *originated* messages in ``[start, end]`` (relayed runs).
+
+    The relayed analogue of
+    :meth:`repro.sim.metrics.MetricsCollector.senders_between`: forwarding
+    hops do not count, only fresh protocol messages.
+    """
+    out: set[int] = set()
+    for pid in cluster.pids:
+        process = cluster.process(pid)
+        times = getattr(process, "origination_times", None)
+        if times is None:
+            raise TypeError(f"process {pid} is not a relayed protocol")
+        if any(start <= time <= end for time in times):
+            out.add(pid)
+    return out

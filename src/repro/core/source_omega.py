@@ -1,0 +1,160 @@
+"""Omega with an eventually timely source — the paper's R1 algorithm.
+
+System (DESIGN.md §1, ``source_links``): some unknown correct process has
+◇timely *output* links to everyone; every other link is only (typed)
+fair-lossy.  No process knows which one is the source.
+
+Mechanism — *accusation counters as leadership priority*:
+
+* Every process ``p`` broadcasts ``Alive(p, counter_p, phase_p)`` every η
+  (this basic variant is deliberately not communication-efficient; the
+  subclass in :mod:`repro.core.comm_efficient` restricts who sends).
+* ``(counter_p, p)`` is ``p``'s priority — lexicographically smallest
+  wins.  Receivers remember the latest counter of each candidate and
+  *adopt* the best candidate they hear from; the current leader is
+  monitored with an adaptive timeout.
+* When the watch timer on the adopted leader ``q`` expires, the watcher
+  sends ``Accusation(q, phase_q)`` to ``q``, grows its timeout for ``q``,
+  and promotes itself.  If ``q`` receives an accusation matching its
+  *current* phase, it increments its counter and phase — its priority
+  permanently worsens.  Phase tagging makes stale accusations (sent
+  before the last increment, or duplicated in flight) harmless.
+
+Why this implements Omega in the source system:
+
+* **The source's counter is bounded.**  After GST its heartbeats reach
+  every process within δ.  Each accuser's timeout for the source grows
+  on every false suspicion, so each accuses finitely often; phases make
+  each accusation count at most once.
+* **Counters of crashed processes freeze, but crashed processes are
+  never re-adopted**: adoption happens only on *receipt* of an ``Alive``,
+  and the crashed stay silent.  A watcher stuck on a crashed leader
+  times out and self-promotes.
+* **Counters are owner-authoritative**: only ``q`` increments
+  ``counter_q`` and everyone learns it from ``q``'s own heartbeats, so
+  all processes converge to the same final values and hence the same
+  minimum.  If some non-source process ends up with the smallest stable
+  counter, electing it is equally valid — its counter being stable means
+  it stopped being suspected forever.
+* **Liveness of demotion** relies on the fair-lossy return path: a
+  watcher that keeps timing out on ``q`` re-adopts and re-accuses ``q``
+  forever, so infinitely many ``Accusation`` messages cross the (typed
+  fair-lossy) link and infinitely many arrive — ``counter_q`` grows
+  without bound and ``q`` eventually ranks below the source everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.messages import Accusation, Alive
+from repro.core.omega import OmegaProtocol
+
+from repro.sim.messages import Message
+
+__all__ = ["SourceOmega"]
+
+_HEARTBEAT = "heartbeat"
+_WATCH = "watch"
+
+
+class SourceOmega(OmegaProtocol):
+    """Accusation-counter Omega; every process heartbeats forever."""
+
+    def __init__(self, pid, sim, network, config=None):  # noqa: ANN001
+        super().__init__(pid, sim, network, config)
+        self.counter = 0
+        self.phase = 0
+        self.counters: dict[int, int] = {}
+        self.phases: dict[int, int] = {}
+        self.accusations_received = 0
+        self.stale_accusations = 0
+
+    def on_start(self) -> None:
+        super().on_start()
+        self.set_periodic(_HEARTBEAT, self.config.eta)
+        self._heartbeat()
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def _sends_heartbeat(self) -> bool:
+        """Whether this process beats this η-tick; the basic variant always does."""
+        return True
+
+    def _heartbeat(self) -> None:
+        if self._sends_heartbeat():
+            self.broadcast(Alive(self.pid, self.counter, self.phase))
+
+    # ------------------------------------------------------------------
+    # Priorities
+    # ------------------------------------------------------------------
+
+    def priority(self, pid: int) -> tuple[int, int]:
+        """``(counter, id)`` of ``pid`` in this process's current view."""
+        counter = self.counter if pid == self.pid else self.counters.get(pid, 0)
+        return (counter, pid)
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+
+    def on_timer(self, key: Hashable) -> None:
+        if key == _HEARTBEAT:
+            self._heartbeat()
+            return
+        if key == _WATCH:
+            self._leader_timed_out()
+
+    def on_message(self, message: Message) -> None:
+        if isinstance(message, Alive):
+            self._on_alive(message)
+        elif isinstance(message, Accusation):
+            self._on_accusation(message)
+
+    def _on_alive(self, message: Alive) -> None:
+        peer = message.sender
+        self.counters[peer] = max(self.counters.get(peer, 0), message.counter)
+        self.phases[peer] = max(self.phases.get(peer, 0), message.phase)
+        if self.priority(peer) <= self.priority(self.leader()):
+            # ``peer`` is at least as good as the current leader (note the
+            # non-strict comparison: when peer *is* the leader this simply
+            # refreshes the watch timer, the pseudocode's "reset timer_p").
+            self._adopt(peer)
+        if self.priority(self.pid) < self.priority(self.leader()):
+            # Our own priority outranks the leader's (e.g. its counter just
+            # rose): reclaim leadership locally.
+            self._output(self.pid)
+            self.cancel_timer(_WATCH)
+
+    def _on_accusation(self, message: Accusation) -> None:
+        if message.target != self.pid:
+            return  # misrouted; links cannot create messages, so impossible
+        self.accusations_received += 1
+        if self.config.phase_tagged_accusations and message.phase != self.phase:
+            self.stale_accusations += 1
+            return
+        self.counter += 1
+        self.phase += 1
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _adopt(self, peer: int) -> None:
+        if peer == self.pid:
+            self._output(peer)
+            self.cancel_timer(_WATCH)
+            return
+        self._output(peer)
+        self.set_timer(_WATCH, self.timeouts.get(peer))
+
+    def _leader_timed_out(self) -> None:
+        suspect = self.leader()
+        if suspect == self.pid:  # pragma: no cover - watch only runs on others
+            return
+        self.timeouts.grow(suspect)
+        self.send(suspect, Accusation(self.pid, suspect,
+                                      self.phases.get(suspect, 0)))
+        self._output(self.pid)

@@ -1,0 +1,31 @@
+"""Experiment harness: scenarios, statistics and table rendering.
+
+Everything the benchmark modules share lives here, so each benchmark is
+a thin sweep over declarative :class:`OmegaScenario` values (or the
+consensus builders) plus a rendered table.
+"""
+
+from repro.harness.fuzz import FuzzCase, FuzzResult, fuzz, run_case, sample_case
+from repro.harness.plot import render_bars, render_series, sparkline
+from repro.harness.scenarios import SYSTEM_NAMES, OmegaOutcome, OmegaScenario
+from repro.harness.stats import Summary, percentile, summarize
+from repro.harness.tables import format_value, render_table
+
+__all__ = [
+    "FuzzCase",
+    "FuzzResult",
+    "fuzz",
+    "run_case",
+    "sample_case",
+    "SYSTEM_NAMES",
+    "OmegaOutcome",
+    "OmegaScenario",
+    "Summary",
+    "percentile",
+    "summarize",
+    "format_value",
+    "render_table",
+    "render_bars",
+    "render_series",
+    "sparkline",
+]

@@ -1,0 +1,215 @@
+"""Model-aware scenario fuzzing: random legal worlds, checked invariants.
+
+The unit and property tests probe chosen corners; the fuzzer samples the
+*whole* legal space: random system sizes, random (assumption-respecting)
+topologies, random crash plans that never kill the designated source and
+never exceed the fault bound, random loss rates and partitions — then
+runs a full Omega or consensus stack and checks the invariants that must
+hold in every in-model execution:
+
+* Omega runs: eventual agreement on a correct leader by the horizon
+  (the horizon is generous relative to the sampled parameters), and no
+  crashed process trusted at the end;
+* consensus runs: agreement + validity always; all correct processes
+  decide; replicated-log prefixes never diverge.
+
+Every sampled world is reproducible from ``(fuzz_seed, case index)`` and
+carries a human-readable description, so a failing case is a one-line
+repro.  ``python -m repro fuzz --cases N`` runs it from the CLI; the
+test suite runs a small budget on every commit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.consensus import ConsensusSystem, LogWorkload, check_log, \
+    check_single_decree
+from repro.core import analyze_omega_run
+from repro.core.config import OmegaConfig
+from repro.harness.scenarios import OmegaScenario
+from repro.sim.faults import CrashPlan
+from repro.sim.topology import LinkTimings, multi_source_links
+
+__all__ = ["FuzzCase", "FuzzResult", "sample_case", "run_case", "fuzz"]
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One sampled world; fully describes a reproducible run."""
+
+    index: int
+    kind: str                     # "omega" | "single-decree" | "log"
+    algorithm: str
+    n: int
+    source: int
+    seed: int
+    horizon: float
+    fair_loss: float
+    gst: float
+    crashes: tuple[tuple[float, int], ...]
+    partition: tuple[float, float, tuple[int, ...]] | None
+
+    def describe(self) -> str:
+        """One-line human-readable repro description of this world."""
+        parts = [f"#{self.index} {self.kind}/{self.algorithm} n={self.n}",
+                 f"source={self.source} seed={self.seed}",
+                 f"loss={self.fair_loss:.2f} gst={self.gst:.1f}"]
+        if self.crashes:
+            parts.append("crashes=" + ",".join(
+                f"{pid}@{time:.1f}" for time, pid in self.crashes))
+        if self.partition:
+            start, end, group = self.partition
+            parts.append(f"partition={set(group)}@{start:.0f}-{end:.0f}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class FuzzResult:
+    """Outcome of one fuzz case."""
+
+    case: FuzzCase
+    ok: bool
+    detail: str
+
+
+def sample_case(rng: random.Random, index: int) -> FuzzCase:
+    """Draw one legal world.
+
+    Constraints keeping the case *in-model* (so a failure is a bug, not
+    an out-of-assumptions artifact): the designated ◇source never
+    crashes; crash counts stay below a majority; partitions always heal
+    well before the horizon and never isolate the source from a majority
+    forever.
+    """
+    kind = rng.choice(["omega", "omega", "single-decree", "log"])
+    algorithm = rng.choice(["all-timely", "source", "comm-efficient"]) \
+        if kind == "omega" else "comm-efficient"
+    n = rng.randint(3, 7)
+    source = rng.randrange(n)
+    seed = rng.randrange(1_000_000)
+    fair_loss = rng.uniform(0.0, 0.5)
+    gst = rng.uniform(0.0, 8.0)
+    horizon = 400.0
+
+    max_crashes = (n - 1) // 2
+    candidates = [pid for pid in range(n) if pid != source]
+    rng.shuffle(candidates)
+    count = rng.randint(0, min(max_crashes, len(candidates)))
+    crashes = tuple(sorted(
+        (round(rng.uniform(1.0, horizon / 3), 2), pid)
+        for pid in candidates[:count]))
+
+    partition = None
+    if kind != "omega" and n >= 4 and rng.random() < 0.5:
+        # Isolate one non-source node for a while, then heal.
+        victim = candidates[-1]
+        start = round(rng.uniform(5.0, 40.0), 1)
+        end = round(start + rng.uniform(10.0, 40.0), 1)
+        group = tuple(pid for pid in range(n) if pid != victim)
+        partition = (start, end, group)
+
+    return FuzzCase(index=index, kind=kind, algorithm=algorithm, n=n,
+                    source=source, seed=seed, horizon=horizon,
+                    fair_loss=fair_loss, gst=gst, crashes=crashes,
+                    partition=partition)
+
+
+def run_case(case: FuzzCase) -> FuzzResult:
+    """Execute one case and check its invariants."""
+    timings = LinkTimings(gst=case.gst, fair_loss=case.fair_loss)
+    if case.kind == "omega":
+        return _run_omega(case, timings)
+    if case.kind == "single-decree":
+        return _run_single_decree(case, timings)
+    return _run_log(case, timings)
+
+
+def _run_omega(case: FuzzCase, timings: LinkTimings) -> FuzzResult:
+    system_name = "all-et" if case.algorithm == "all-timely" else "source"
+    scenario = OmegaScenario(
+        algorithm=case.algorithm, n=case.n, system=system_name,
+        source=case.source, crashes=case.crashes, seed=case.seed,
+        horizon=case.horizon, timings=timings, config=OmegaConfig())
+    outcome = scenario.run()
+    report = outcome.report
+    if not report.omega_holds:
+        return FuzzResult(case, False,
+                          f"omega violated: outputs={report.final_outputs}")
+    crashed = set(pid for _, pid in case.crashes)
+    if report.final_leader in crashed:
+        return FuzzResult(case, False,
+                          f"crashed leader {report.final_leader} trusted")
+    return FuzzResult(case, True,
+                      f"leader={report.final_leader} "
+                      f"stab={report.stabilization_time:.1f}s")
+
+
+def _partitioned_networks(case: FuzzCase, system: ConsensusSystem) -> None:
+    if case.partition is None:
+        return
+    start, end, group = case.partition
+    rest = tuple(pid for pid in range(case.n) if pid not in group)
+    for network in (system.agreement_network, system.fd_network):
+        network.add_partition(start, end, [set(group), set(rest)])
+
+
+def _run_single_decree(case: FuzzCase, timings: LinkTimings) -> FuzzResult:
+    system = ConsensusSystem.build_single_decree(
+        case.n,
+        lambda: multi_source_links(case.n, (case.source,), timings),
+        proposals=[f"v{pid}" for pid in range(case.n)],
+        omega_name=case.algorithm, seed=case.seed)
+    _partitioned_networks(case, system)
+    if case.crashes:
+        CrashPlan.crash_at(*case.crashes).schedule(system)
+    system.start_all()
+    system.run_until(case.horizon)
+    report = check_single_decree(system)
+    if not (report.agreement and report.validity):
+        return FuzzResult(case, False, "safety violated")
+    if not report.all_correct_decided:
+        return FuzzResult(case, False,
+                          f"liveness: decided={sorted(report.decided)} "
+                          f"correct={report.correct}")
+    return FuzzResult(case, True,
+                      f"decided {next(iter(report.decided.values()))!r} "
+                      f"by {report.latest_decision:.1f}s")
+
+
+def _run_log(case: FuzzCase, timings: LinkTimings) -> FuzzResult:
+    system = ConsensusSystem.build_replicated_log(
+        case.n,
+        lambda: multi_source_links(case.n, (case.source,), timings),
+        omega_name=case.algorithm, seed=case.seed)
+    _partitioned_networks(case, system)
+    workload = LogWorkload(system, count=15, period=0.6, start=3.0)
+    if case.crashes:
+        CrashPlan.crash_at(*case.crashes).schedule(system)
+    system.start_all()
+    system.run_until(case.horizon)
+    report = check_log(system, workload.submitted)
+    if not (report.agreement and report.validity):
+        return FuzzResult(case, False,
+                          f"safety violated: {report.divergences}")
+    if not workload.done():
+        return FuzzResult(case, False, "liveness: commands missing")
+    return FuzzResult(case, True,
+                      f"committed {report.max_committed} entries")
+
+
+def fuzz(cases: int, fuzz_seed: int = 0,
+         stop_on_failure: bool = True) -> list[FuzzResult]:
+    """Run ``cases`` sampled worlds; return all results."""
+    if cases < 1:
+        raise ValueError("cases must be positive")
+    rng = random.Random(fuzz_seed)
+    results = []
+    for index in range(cases):
+        case = sample_case(rng, index)
+        result = run_case(case)
+        results.append(result)
+        if not result.ok and stop_on_failure:
+            break
+    return results

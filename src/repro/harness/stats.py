@@ -1,0 +1,59 @@
+"""Small statistics helpers for experiment summaries."""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["Summary", "summarize", "percentile"]
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile of ``values`` (``fraction`` in [0, 1])."""
+    if not values:
+        raise ValueError("no values")
+    if not 0 <= fraction <= 1:
+        raise ValueError("fraction must be in [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return ordered[low]
+    weight = position - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (f"n={self.count} mean={self.mean:.3f} median={self.median:.3f} "
+                f"p95={self.p95:.3f} min={self.minimum:.3f} max={self.maximum:.3f}")
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Summary statistics of ``values`` (must be non-empty)."""
+    data = list(values)
+    if not data:
+        raise ValueError("cannot summarize an empty sample")
+    return Summary(
+        count=len(data),
+        mean=statistics.fmean(data),
+        median=statistics.median(data),
+        p95=percentile(data, 0.95),
+        minimum=min(data),
+        maximum=max(data),
+    )

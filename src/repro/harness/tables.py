@@ -1,0 +1,63 @@
+"""ASCII table rendering for experiment output.
+
+Every benchmark prints its table(s) through :func:`render_table` so
+`EXPERIMENTS.md` and the benchmark logs share one format.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(value: object) -> str:
+    """Uniform cell formatting: floats to 3 significant decimals."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        return f"{value:.3f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render a fixed-width table with a header rule.
+
+    Numeric-looking cells are right-aligned, text left-aligned.
+    """
+    formatted = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def is_numeric(text: str) -> bool:
+        return bool(text) and all(ch in "0123456789.+-e%" for ch in text)
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            if is_numeric(cell):
+                parts.append(cell.rjust(widths[index]))
+            else:
+                parts.append(cell.ljust(widths[index]))
+        return "| " + " | ".join(parts) + " |"
+
+    rule = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(rule)
+    lines.append(fmt_row(headers))
+    lines.append(rule)
+    for row in formatted:
+        lines.append(fmt_row(row))
+    lines.append(rule)
+    return "\n".join(lines)

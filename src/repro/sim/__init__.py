@@ -1,0 +1,88 @@
+"""Deterministic discrete-event simulation substrate.
+
+This package is the "hardware" of the reproduction: a simulated partially
+synchronous message-passing system with per-link synchrony models, crash
+injection, tracing and message accounting.  The paper's algorithms (in
+:mod:`repro.core` and :mod:`repro.consensus`) run unmodified on top of it.
+"""
+
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Simulation, SimulationError
+from repro.sim.faults import CrashEvent, CrashPlan, random_crash_plan
+from repro.sim.links import (
+    DeadLink,
+    EventuallyTimelyLink,
+    FairLossyLink,
+    LinkPolicy,
+    LossyAsyncLink,
+    TimelyLink,
+)
+from repro.sim.messages import Message
+from repro.sim.metrics import MetricsCollector, WindowStats
+from repro.sim.network import Network, NetworkError
+from repro.sim.process import Process
+from repro.sim.rng import RngFabric
+from repro.sim.topology import (
+    LinkTimings,
+    all_eventually_timely_links,
+    all_timely_links,
+    apply_links,
+    f_source_links,
+    multi_source_links,
+    ordered_pairs,
+    relay_tree_links,
+    source_links,
+    source_links_lossy_elsewhere,
+)
+from repro.sim.trace import (
+    CrashRecord,
+    DeliverRecord,
+    DropRecord,
+    SendRecord,
+    TraceLog,
+)
+from repro.sim.traceview import (
+    render_message_flow,
+    render_process_timeline,
+    summarize_trace,
+)
+
+__all__ = [
+    "Cluster",
+    "Simulation",
+    "SimulationError",
+    "CrashEvent",
+    "CrashPlan",
+    "random_crash_plan",
+    "DeadLink",
+    "EventuallyTimelyLink",
+    "FairLossyLink",
+    "LinkPolicy",
+    "LossyAsyncLink",
+    "TimelyLink",
+    "Message",
+    "MetricsCollector",
+    "WindowStats",
+    "Network",
+    "NetworkError",
+    "Process",
+    "RngFabric",
+    "LinkTimings",
+    "all_eventually_timely_links",
+    "all_timely_links",
+    "apply_links",
+    "f_source_links",
+    "multi_source_links",
+    "ordered_pairs",
+    "relay_tree_links",
+    "source_links",
+    "source_links_lossy_elsewhere",
+    "CrashRecord",
+    "DeliverRecord",
+    "DropRecord",
+    "SendRecord",
+    "TraceLog",
+    "render_message_flow",
+    "render_process_timeline",
+    "summarize_trace",
+]

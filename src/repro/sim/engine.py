@@ -1,0 +1,167 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulation` owns the virtual clock and the event heap.  Everything
+else in this repository — link delivery, process timers, fault injection,
+periodic probes — is expressed as events scheduled on one simulation.
+
+Determinism
+-----------
+Runs are bit-for-bit reproducible: the heap is ordered by ``(time, seq)``
+(``seq`` is the insertion counter), and all randomness must come from the
+simulation's :class:`~repro.sim.rng.RngFabric`.
+
+Typical use::
+
+    sim = Simulation(seed=7)
+    sim.call_after(1.5, lambda: print("fires at t=1.5"))
+    sim.run_until(10.0)
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable
+
+from repro.sim.events import EventHandle, ScheduledEvent
+from repro.sim.rng import RngFabric
+
+__all__ = ["Simulation", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on kernel misuse (e.g. scheduling in the past)."""
+
+
+class Simulation:
+    """A deterministic discrete-event simulation.
+
+    Parameters
+    ----------
+    seed:
+        Root seed of the run's random fabric (see :class:`RngFabric`).
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._heap: list[ScheduledEvent] = []
+        self._rng = RngFabric(seed)
+        self._probes: list[tuple[float, Callable[[float], None]]] = []
+
+    # ------------------------------------------------------------------
+    # Clock and randomness
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def rng(self) -> RngFabric:
+        """The run's random fabric."""
+        return self._rng
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def call_at(self, time: float, action: Callable[[], None]) -> EventHandle:
+        """Schedule ``action`` to run at absolute simulated ``time``.
+
+        Scheduling strictly in the past is a programming error; scheduling
+        at exactly ``now`` is allowed and runs after currently queued
+        events for ``now``.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        event = ScheduledEvent(time, self._seq, action)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def call_after(self, delay: float, action: Callable[[], None]) -> EventHandle:
+        """Schedule ``action`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.call_at(self._now + delay, action)
+
+    def add_probe(self, period: float, probe: Callable[[float], None]) -> None:
+        """Run ``probe(now)`` every ``period`` time units, forever.
+
+        Probes are how observers (checkers, metric samplers) watch the
+        system evolve without participating in it.  The first invocation
+        happens at ``now + period``.
+        """
+        if period <= 0:
+            raise SimulationError(f"probe period must be positive, got {period}")
+
+        def fire() -> None:
+            probe(self._now)
+            self.call_after(period, fire)
+
+        self.call_after(period, fire)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the single next event.  Returns False if the heap is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.action()
+            return True
+        return False
+
+    def run_until(self, deadline: float) -> None:
+        """Run all events with ``time <= deadline``; leave ``now == deadline``.
+
+        Events scheduled exactly at the deadline *do* run.
+        """
+        while self._heap:
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if event.time > deadline:
+                break
+            heapq.heappop(self._heap)
+            self._now = event.time
+            event.action()
+        if deadline > self._now:
+            self._now = deadline
+
+    def run_for(self, duration: float) -> None:
+        """Run for ``duration`` simulated time units from now."""
+        self.run_until(self._now + duration)
+
+    def drain(self, max_events: int = 1_000_000) -> int:
+        """Run until the heap empties; mostly useful in unit tests.
+
+        Raises :class:`SimulationError` after ``max_events`` events as a
+        guard against self-perpetuating schedules (heartbeats, probes).
+        """
+        count = 0
+        while self.step():
+            count += 1
+            if count >= max_events:
+                raise SimulationError("drain() exceeded max_events; "
+                                      "did you drain a self-perpetuating schedule?")
+        return count
+
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events; for diagnostics."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def pending_times(self) -> Iterable[float]:
+        """Times of queued live events, unsorted; for diagnostics."""
+        return (event.time for event in self._heap if not event.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulation(now={self._now:.3f}, pending={self.pending()})"

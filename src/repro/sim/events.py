@@ -1,0 +1,62 @@
+"""Event representation for the discrete-event kernel.
+
+An :class:`ScheduledEvent` is an action bound to a simulated time.  Events
+are totally ordered by ``(time, seq)`` where ``seq`` is a monotonically
+increasing insertion counter; this makes every simulation run
+deterministic: two events scheduled for the same instant fire in the order
+they were scheduled.
+
+Cancellation is *lazy*: cancelling marks the event and the engine discards
+it when popped, which keeps the heap operations O(log n).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["ScheduledEvent", "EventHandle"]
+
+
+class ScheduledEvent:
+    """An action scheduled at an absolute simulated time.
+
+    Not created directly — use :meth:`repro.sim.engine.Simulation.call_at`.
+    """
+
+    __slots__ = ("time", "seq", "action", "cancelled")
+
+    def __init__(self, time: float, seq: int, action: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.action = action
+        self.cancelled = False
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<ScheduledEvent t={self.time:.6f} seq={self.seq}{state}>"
+
+
+class EventHandle:
+    """A caller-facing handle that can cancel a scheduled event."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: ScheduledEvent) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """The simulated time the event is scheduled for."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._event.cancelled = True

@@ -1,0 +1,84 @@
+"""Fault injection: crash schedules for crash-stop processes.
+
+The model allows up to ``f`` crashes per run.  A :class:`CrashPlan` is an
+explicit script of ``(time, pid)`` crash events; helpers build common
+plans (crash the eventual leader, crash a random subset).  Plans are data
+— they can be printed, stored alongside experiment results, and replayed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.cluster import Cluster
+
+__all__ = ["CrashEvent", "CrashPlan", "random_crash_plan"]
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """One scripted crash."""
+
+    time: float
+    pid: int
+
+
+class CrashPlan:
+    """An ordered script of crashes to inject into a cluster."""
+
+    def __init__(self, events: Sequence[CrashEvent] = ()) -> None:
+        self.events = sorted(events, key=lambda e: (e.time, e.pid))
+        seen: set[int] = set()
+        for event in self.events:
+            if event.pid in seen:
+                raise ValueError(f"pid {event.pid} crashes twice (crash-stop model)")
+            seen.add(event.pid)
+
+    @classmethod
+    def crash_at(cls, *pairs: tuple[float, int]) -> "CrashPlan":
+        """Build a plan from ``(time, pid)`` pairs."""
+        return cls([CrashEvent(time, pid) for time, pid in pairs])
+
+    @property
+    def crashed_pids(self) -> set[int]:
+        """Pids that will eventually crash under this plan."""
+        return {event.pid for event in self.events}
+
+    def schedule(self, cluster: "Cluster") -> None:
+        """Install the crashes as simulation events on the cluster."""
+        for event in self.events:
+            pid = event.pid
+            cluster.sim.call_at(event.time, lambda pid=pid: cluster.crash(pid))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{e.pid}@{e.time}" for e in self.events)
+        return f"CrashPlan({inner})"
+
+
+def random_crash_plan(
+    rng: random.Random,
+    pids: Sequence[int],
+    max_crashes: int,
+    earliest: float,
+    latest: float,
+    spare: Sequence[int] = (),
+) -> CrashPlan:
+    """A random plan crashing up to ``max_crashes`` of ``pids``.
+
+    ``spare`` pids are never crashed — experiments use it to protect the
+    designated ◇source, whose correctness the topology assumes.
+    """
+    if latest < earliest:
+        raise ValueError("latest must be >= earliest")
+    candidates = [pid for pid in pids if pid not in set(spare)]
+    count = min(max_crashes, len(candidates))
+    count = rng.randint(0, count)
+    victims = rng.sample(candidates, count)
+    events = [CrashEvent(rng.uniform(earliest, latest), pid) for pid in victims]
+    return CrashPlan(events)

@@ -1,0 +1,194 @@
+"""The simulated network: one link policy per ordered process pair.
+
+:class:`Network` glues together the kernel, the link models, tracing and
+metrics.  A protocol process never touches links directly — it calls
+``send``/``broadcast`` and the network consults the (stateful) policy of
+the ordered pair, schedules the delivery event, and feeds the observers.
+
+Crash semantics follow the crash-stop model: a message addressed to a
+process that is down *at delivery time* is silently dropped (recorded as
+``dst_crashed``), and a crashed process can never send.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+from repro.sim.engine import Simulation
+from repro.sim.links import LinkPolicy, TimelyLink
+from repro.sim.messages import Message
+from repro.sim.metrics import MetricsCollector
+from repro.sim.trace import CrashRecord, DeliverRecord, DropRecord, SendRecord, TraceLog
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.process import Process
+
+__all__ = ["Network", "NetworkError"]
+
+
+class NetworkError(RuntimeError):
+    """Raised on network misuse (unknown process, sending while crashed...)."""
+
+
+class Network:
+    """Message fabric between registered processes.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel that owns time.
+    trace:
+        Optional :class:`TraceLog`; a disabled one is created if omitted.
+    metrics:
+        Optional :class:`MetricsCollector`; created with a 1.0 window if
+        omitted.
+    default_link:
+        Factory used for any ordered pair without an explicit
+        :meth:`set_link`; defaults to fresh :class:`TimelyLink` per pair.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        trace: TraceLog | None = None,
+        metrics: MetricsCollector | None = None,
+        default_link: Callable[[], LinkPolicy] = TimelyLink,
+    ) -> None:
+        self.sim = sim
+        self.trace = trace if trace is not None else TraceLog(enabled=False)
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self._default_link = default_link
+        self._processes: dict[int, "Process"] = {}
+        self._links: dict[tuple[int, int], LinkPolicy] = {}
+        self._partitions: list[tuple[float, float, tuple[frozenset[int], ...]]] = []
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    def register(self, process: "Process") -> None:
+        """Attach a process; its pid must be unique."""
+        if process.pid in self._processes:
+            raise NetworkError(f"duplicate pid {process.pid}")
+        self._processes[process.pid] = process
+
+    def process(self, pid: int) -> "Process":
+        """The registered process with this pid."""
+        try:
+            return self._processes[pid]
+        except KeyError:
+            raise NetworkError(f"unknown pid {pid}") from None
+
+    @property
+    def pids(self) -> list[int]:
+        """All registered pids, sorted."""
+        return sorted(self._processes)
+
+    def set_link(self, src: int, dst: int, policy: LinkPolicy) -> None:
+        """Install the policy for the ordered pair ``src -> dst``."""
+        if src == dst:
+            raise NetworkError("no self-links in the model")
+        self._links[(src, dst)] = policy
+
+    def link(self, src: int, dst: int) -> LinkPolicy:
+        """The policy for ``src -> dst`` (instantiating the default lazily)."""
+        policy = self._links.get((src, dst))
+        if policy is None:
+            policy = self._default_link()
+            self._links[(src, dst)] = policy
+        return policy
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+
+    def add_partition(self, start: float, end: float,
+                      groups: "Sequence[Iterable[int]]") -> None:
+        """Partition the network into ``groups`` during ``[start, end)``.
+
+        Messages whose source and destination fall into different groups
+        (or outside every group) during the interval are dropped at send
+        time with reason ``"partition"``.  A partition is simply a burst
+        of correlated message loss, which every lossy link type permits;
+        note that partitioning an *eventually timely* link after its GST
+        steps outside the model — tests that do so are probing behaviour
+        beyond the paper's assumptions, deliberately.
+        """
+        if end <= start:
+            raise NetworkError("partition must have positive duration")
+        frozen = tuple(frozenset(group) for group in groups)
+        self._partitions.append((start, end, frozen))
+
+    def partitioned(self, src: int, dst: int, now: float) -> bool:
+        """Whether ``src -> dst`` is currently severed by a partition."""
+        for start, end, groups in self._partitions:
+            if not start <= now < end:
+                continue
+            same_side = any(src in group and dst in group for group in groups)
+            if not same_side:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+
+    def send(self, src: int, dst: int, message: Message) -> None:
+        """Send ``message`` from ``src`` to ``dst`` through their link."""
+        if src == dst:
+            raise NetworkError("processes do not send to themselves")
+        sender = self.process(src)
+        self.process(dst)  # validate dst exists
+        if sender.crashed:
+            # Crash-stop: a dead process cannot emit.  Reaching this point
+            # indicates a protocol bug (e.g. a timer surviving a crash),
+            # so it is recorded loudly rather than ignored.
+            self.trace.record(DropRecord(self.sim.now, src, dst,
+                                         message.kind, "src_crashed"))
+            raise NetworkError(f"crashed process {src} attempted to send")
+
+        now = self.sim.now
+        self.trace.record(SendRecord(now, src, dst, message.kind))
+        self.metrics.on_send(now, src, dst, message.kind)
+
+        if self._partitions and self.partitioned(src, dst, now):
+            self.trace.record(DropRecord(now, src, dst, message.kind,
+                                         "partition"))
+            self.metrics.on_drop(now, src, dst, message.kind, "partition")
+            return
+
+        rng = self.sim.rng.stream("link", src, dst)
+        delay = self.link(src, dst).plan(message, now, rng)
+        if delay is None:
+            self.trace.record(DropRecord(now, src, dst, message.kind, "link"))
+            self.metrics.on_drop(now, src, dst, message.kind, "link")
+            return
+        self.sim.call_after(delay, lambda: self._deliver(src, dst, message, now))
+
+    def broadcast(self, src: int, message: Message) -> None:
+        """Send ``message`` from ``src`` to every other registered process."""
+        for dst in self.pids:
+            if dst != src:
+                self.send(src, dst, message)
+
+    def _deliver(self, src: int, dst: int, message: Message, sent_at: float) -> None:
+        receiver = self._processes[dst]
+        now = self.sim.now
+        if receiver.crashed or not receiver.started:
+            # Crash-stop processes receive nothing; a not-yet-started
+            # process has no open endpoint either (staggered boots).
+            reason = "dst_crashed" if receiver.crashed else "dst_not_started"
+            self.trace.record(DropRecord(now, src, dst, message.kind, reason))
+            self.metrics.on_drop(now, src, dst, message.kind, reason)
+            return
+        self.trace.record(DeliverRecord(now, src, dst, message.kind, sent_at))
+        self.metrics.on_deliver(now, src, dst, message.kind)
+        receiver.deliver(message)
+
+    # ------------------------------------------------------------------
+    # Crash bookkeeping (called by Process.crash)
+    # ------------------------------------------------------------------
+
+    def note_crash(self, pid: int) -> None:
+        """Record a crash in the trace (the process handles its own state)."""
+        self.trace.record(CrashRecord(self.sim.now, pid))

@@ -1,0 +1,183 @@
+"""Actor-style process runtime.
+
+A :class:`Process` is the unit of computation of the model: it reacts to
+message deliveries and timer expirations, can send/broadcast messages,
+and can crash (crash-stop: once crashed it neither sends, receives, nor
+fires timers — matching the model in DESIGN.md §1.1).
+
+Protocols subclass :class:`Process` and override the hooks:
+
+``on_start()``
+    Called once when the process is started (arm initial timers, send
+    the first round of messages).
+
+``on_message(message)``
+    Called for every delivered message.
+
+``on_timer(key)``
+    Called when the timer named ``key`` expires.  Periodic timers
+    re-arm themselves *before* dispatching, so a handler that wants to
+    stop the cycle calls :meth:`cancel_timer`.
+
+``on_crash()``
+    Last hook before the process goes silent; useful for checkers.
+
+Timers are named by an arbitrary hashable key; setting a timer that
+already exists resets it (the usual "reset timer_p" of the pseudocode in
+this literature).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.sim.engine import Simulation
+from repro.sim.events import EventHandle
+from repro.sim.messages import Message
+from repro.sim.network import Network
+
+__all__ = ["Process"]
+
+
+class Process:
+    """A crash-stop process attached to a simulation and a network."""
+
+    def __init__(self, pid: int, sim: Simulation, network: Network) -> None:
+        self.pid = pid
+        self.sim = sim
+        self.network = network
+        self._crashed = False
+        self._started = False
+        self._timers: dict[Hashable, EventHandle] = {}
+        self._periods: dict[Hashable, float] = {}
+        network.register(self)
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.sim.now
+
+    @property
+    def crashed(self) -> bool:
+        """Whether this process has crashed (crash-stop: permanent)."""
+        return self._crashed
+
+    @property
+    def started(self) -> bool:
+        """Whether :meth:`start` has run."""
+        return self._started
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Run the ``on_start`` hook.  Idempotent; no-op when crashed."""
+        if self._started or self._crashed:
+            return
+        self._started = True
+        self.on_start()
+
+    def crash(self) -> None:
+        """Crash the process: cancel all timers and go permanently silent."""
+        if self._crashed:
+            return
+        self._crashed = True
+        for handle in self._timers.values():
+            handle.cancel()
+        self._timers.clear()
+        self._periods.clear()
+        self.network.note_crash(self.pid)
+        self.on_crash()
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+
+    def send(self, dst: int, message: Message) -> None:
+        """Send a message to ``dst``; silently ignored after a crash."""
+        if self._crashed:
+            return
+        self.network.send(self.pid, dst, message)
+
+    def broadcast(self, message: Message) -> None:
+        """Send a message to every other process; ignored after a crash."""
+        if self._crashed:
+            return
+        self.network.broadcast(self.pid, message)
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+
+    def set_timer(self, key: Hashable, delay: float) -> None:
+        """Arm (or reset) the one-shot timer ``key`` to fire after ``delay``."""
+        if self._crashed:
+            return
+        self.cancel_timer(key)
+        self._timers[key] = self.sim.call_after(delay, lambda: self._fire(key))
+
+    def set_periodic(self, key: Hashable, period: float) -> None:
+        """Arm the timer ``key`` to fire every ``period`` units until cancelled."""
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if self._crashed:
+            return
+        self.cancel_timer(key)  # also clears any previous period for the key
+        self._periods[key] = period
+        self._timers[key] = self.sim.call_after(period, lambda: self._fire(key))
+
+    def cancel_timer(self, key: Hashable) -> None:
+        """Disarm timer ``key`` (and stop its periodic cycle).  Idempotent."""
+        handle = self._timers.pop(key, None)
+        if handle is not None:
+            handle.cancel()
+        self._periods.pop(key, None)
+
+    def has_timer(self, key: Hashable) -> bool:
+        """Whether timer ``key`` is currently armed."""
+        return key in self._timers
+
+    def _fire(self, key: Hashable) -> None:
+        if self._crashed:  # crash raced the event; stay silent
+            return
+        self._timers.pop(key, None)
+        period = self._periods.get(key)
+        if period is not None:
+            # Re-arm before dispatch so on_timer may cancel to stop the cycle.
+            self._timers[key] = self.sim.call_after(period, lambda: self._fire(key))
+        self.on_timer(key)
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+
+    def deliver(self, message: Message) -> None:
+        """Entry point used by the network; dispatches to ``on_message``."""
+        if self._crashed:
+            return
+        self.on_message(message)
+
+    # ------------------------------------------------------------------
+    # Hooks for subclasses
+    # ------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        """Initialization hook; default does nothing."""
+
+    def on_message(self, message: Message) -> None:
+        """Message hook; default does nothing."""
+
+    def on_timer(self, key: Hashable) -> None:
+        """Timer hook; default does nothing."""
+
+    def on_crash(self) -> None:
+        """Crash hook; default does nothing."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "crashed" if self._crashed else ("up" if self._started else "new")
+        return f"<{type(self).__name__} pid={self.pid} {state}>"

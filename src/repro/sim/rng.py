@@ -1,0 +1,73 @@
+"""Deterministic random-number fabric for simulations.
+
+Every source of randomness in a simulation run is drawn from a *named
+stream* derived from a single root seed.  Two properties matter for
+reproducibility of the experiments in this repository:
+
+1. The same ``(root_seed, stream_name)`` pair always yields the same
+   sequence, regardless of the order in which streams are created.
+2. Distinct stream names yield statistically independent sequences.
+
+Both are obtained by hashing the root seed together with the stream name
+through SHA-256 and seeding an independent :class:`random.Random` per
+stream.  ``random.Random`` (Mersenne Twister) is more than adequate for
+simulation workloads and keeps the core library free of third-party
+dependencies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+__all__ = ["RngFabric"]
+
+
+class RngFabric:
+    """A factory of independent, reproducible random streams.
+
+    Example
+    -------
+    >>> fabric = RngFabric(seed=42)
+    >>> link_rng = fabric.stream("link", 0, 1)
+    >>> fault_rng = fabric.stream("faults")
+    >>> fabric2 = RngFabric(seed=42)
+    >>> fabric2.stream("link", 0, 1).random() == link_rng.random()
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+        self._streams: dict[str, random.Random] = {}
+
+    @property
+    def seed(self) -> int:
+        """The root seed this fabric was created with."""
+        return self._seed
+
+    def stream(self, *name_parts: object) -> random.Random:
+        """Return the stream named by ``name_parts`` (created on first use).
+
+        Name parts are joined with ``/`` after ``str()`` conversion, so
+        ``stream("link", 0, 1)`` and ``stream("link/0/1")`` are the same
+        stream.  Repeated calls return the *same* generator object, which
+        continues its sequence.
+        """
+        name = "/".join(str(part) for part in name_parts)
+        rng = self._streams.get(name)
+        if rng is None:
+            rng = random.Random(self._derive(name))
+            self._streams[name] = rng
+        return rng
+
+    def fork(self, *name_parts: object) -> "RngFabric":
+        """Return a child fabric whose streams are independent of ours."""
+        name = "/".join(str(part) for part in name_parts)
+        return RngFabric(self._derive("fork/" + name))
+
+    def _derive(self, name: str) -> int:
+        digest = hashlib.sha256(f"{self._seed}:{name}".encode()).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RngFabric(seed={self._seed}, streams={len(self._streams)})"

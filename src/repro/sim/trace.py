@@ -1,0 +1,142 @@
+"""Structured event tracing.
+
+A :class:`TraceLog` records what happened on the wire and to processes:
+sends, deliveries, drops (with reason) and crashes.  Traces power the
+fine-grained assertions in the test suite and the debugging workflow;
+coarse aggregate accounting lives in :mod:`repro.sim.metrics` instead,
+so traces can be disabled for long benchmark runs without losing the
+numbers the experiments report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+__all__ = [
+    "TraceLog",
+    "SendRecord",
+    "DeliverRecord",
+    "DropRecord",
+    "CrashRecord",
+]
+
+
+@dataclass(frozen=True)
+class SendRecord:
+    """A message handed to the network."""
+
+    time: float
+    src: int
+    dst: int
+    kind: str
+
+
+@dataclass(frozen=True)
+class DeliverRecord:
+    """A message delivered to its destination's handler."""
+
+    time: float
+    src: int
+    dst: int
+    kind: str
+    sent_at: float
+
+    @property
+    def delay(self) -> float:
+        """Link delay experienced by this message."""
+        return self.time - self.sent_at
+
+
+@dataclass(frozen=True)
+class DropRecord:
+    """A message that will never be delivered.
+
+    ``reason`` is one of ``"link"`` (the link policy lost it),
+    ``"dst_crashed"`` (destination was down at delivery time),
+    ``"dst_not_started"`` (destination had not booted yet) or
+    ``"src_crashed"`` (sender was already down — indicates a substrate
+    bug if it ever appears, and is asserted against in tests).
+    """
+
+    time: float
+    src: int
+    dst: int
+    kind: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class CrashRecord:
+    """A process crash."""
+
+    time: float
+    pid: int
+
+
+TraceRecord = SendRecord | DeliverRecord | DropRecord | CrashRecord
+
+
+class TraceLog:
+    """An append-only log of :data:`TraceRecord` entries.
+
+    Parameters
+    ----------
+    enabled:
+        When False every ``record`` call is a no-op; the network still
+        feeds metrics.  Benchmarks disable tracing to keep memory flat.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._records: list[TraceRecord] = []
+
+    def record(self, record: TraceRecord) -> None:
+        """Append one record (no-op when disabled)."""
+        if self.enabled:
+            self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def select(
+        self,
+        record_type: type | None = None,
+        predicate: Callable[[TraceRecord], bool] | None = None,
+    ) -> list[TraceRecord]:
+        """Records filtered by type and/or an arbitrary predicate."""
+        out: list[TraceRecord] = []
+        for record in self._records:
+            if record_type is not None and not isinstance(record, record_type):
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            out.append(record)
+        return out
+
+    def sends(self, **field_filters: object) -> list[SendRecord]:
+        """All sends matching the given field values (e.g. ``src=3``)."""
+        return self._by_fields(SendRecord, field_filters)
+
+    def deliveries(self, **field_filters: object) -> list[DeliverRecord]:
+        """All deliveries matching the given field values."""
+        return self._by_fields(DeliverRecord, field_filters)
+
+    def drops(self, **field_filters: object) -> list[DropRecord]:
+        """All drops matching the given field values."""
+        return self._by_fields(DropRecord, field_filters)
+
+    def crashes(self) -> list[CrashRecord]:
+        """All crash records, in time order."""
+        return [r for r in self._records if isinstance(r, CrashRecord)]
+
+    def _by_fields(self, record_type: type, filters: dict[str, object]) -> list:
+        return [
+            r
+            for r in self._records
+            if isinstance(r, record_type)
+            and all(getattr(r, name) == value for name, value in filters.items())
+        ]

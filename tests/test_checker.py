@@ -1,0 +1,134 @@
+"""Unit tests for the Omega run checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import analyze_omega_run, communication_report, make_factory
+from repro.core.checker import CommunicationReport
+from repro.core.config import OmegaConfig
+from repro.core.omega import OmegaProtocol
+from repro.sim import Cluster
+from repro.sim.topology import all_timely_links
+
+
+class Scripted(OmegaProtocol):
+    """An Omega whose output history is driven by the test."""
+
+
+def scripted_cluster(n: int = 3) -> Cluster:
+    return Cluster.build(n, lambda pid, sim, net: Scripted(pid, sim, net),
+                         links=all_timely_links(n), seed=0)
+
+
+class TestAgreement:
+    def test_agreement_and_correct_leader(self) -> None:
+        cluster = scripted_cluster()
+        cluster.start_all()
+        cluster.run_until(10.0)
+        for pid in cluster.pids:
+            cluster.process(pid)._output(1)
+        report = analyze_omega_run(cluster)
+        assert report.agreement
+        assert report.final_leader == 1
+        assert report.leader_is_correct
+        assert report.omega_holds
+
+    def test_disagreement_detected(self) -> None:
+        cluster = scripted_cluster()
+        cluster.start_all()
+        cluster.process(0)._output(1)
+        cluster.process(1)._output(2)
+        cluster.process(2)._output(2)
+        report = analyze_omega_run(cluster)
+        assert not report.agreement
+        assert report.final_leader is None
+        assert not report.omega_holds
+        assert report.stabilization_time is None
+
+    def test_crashed_leader_not_correct(self) -> None:
+        cluster = scripted_cluster()
+        cluster.start_all()
+        cluster.run_until(5.0)
+        cluster.crash(2)
+        for pid in cluster.up_pids():
+            cluster.process(pid)._output(2)
+        report = analyze_omega_run(cluster)
+        assert report.agreement
+        assert report.final_leader == 2
+        assert not report.leader_is_correct
+        assert not report.omega_holds
+
+    def test_crashed_processes_outputs_ignored(self) -> None:
+        cluster = scripted_cluster()
+        cluster.start_all()
+        cluster.process(0)._output(99)  # diverges, then crashes
+        cluster.crash(0)
+        cluster.process(1)._output(1)
+        cluster.process(2)._output(1)
+        report = analyze_omega_run(cluster)
+        assert report.agreement
+        assert report.correct == (1, 2)
+
+    def test_non_omega_process_rejected(self) -> None:
+        from conftest import Recorder
+
+        cluster = Cluster.build(2, lambda pid, sim, net: Recorder(pid, sim, net))
+        cluster.start_all()
+        with pytest.raises(TypeError):
+            analyze_omega_run(cluster)
+
+
+class TestStabilizationTime:
+    def test_last_change_wins(self) -> None:
+        cluster = scripted_cluster()
+        cluster.start_all()
+        cluster.run_until(4.0)
+        cluster.process(0)._output(1)
+        cluster.run_until(9.0)
+        cluster.process(1)._output(1)
+        cluster.process(2)._output(1)
+        report = analyze_omega_run(cluster)
+        assert report.stabilization_time == 9.0
+
+    def test_change_counts(self) -> None:
+        cluster = scripted_cluster()
+        cluster.start_all()
+        cluster.run_until(2.0)
+        process = cluster.process(0)
+        process._output(1)
+        process._output(2)
+        process._output(1)
+        cluster.process(1)._output(1)  # already its initial output: no change
+        cluster.process(2)._output(1)
+        report = analyze_omega_run(cluster)
+        assert report.changes_by_pid[0] == 3
+        assert report.changes_by_pid[1] == 0
+        assert report.changes_by_pid[2] == 1
+        assert report.total_changes == 4
+
+
+class TestCommunicationReport:
+    def test_window_census(self) -> None:
+        cluster = Cluster.build(
+            3, make_factory("source", OmegaConfig()),
+            links=all_timely_links(3), seed=0)
+        cluster.start_all()
+        cluster.run_until(30.0)
+        comm = communication_report(cluster, window=10.0)
+        assert comm.window_end == 30.0
+        assert comm.window_start == 20.0
+        assert comm.messages > 0
+        assert comm.senders <= {0, 1, 2}
+
+    def test_efficiency_predicate(self) -> None:
+        report = CommunicationReport(0.0, 10.0, frozenset({2}),
+                                     frozenset({(2, 0), (2, 1)}), 40)
+        assert report.is_communication_efficient(2)
+        assert not report.is_communication_efficient(0)
+        assert not report.is_communication_efficient(None)
+
+    def test_window_must_be_positive(self) -> None:
+        cluster = scripted_cluster()
+        with pytest.raises(ValueError):
+            communication_report(cluster, window=0.0)

@@ -1,0 +1,87 @@
+"""Unit tests for the consensus checkers (including divergence detection)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus import ConsensusSystem, check_log, check_single_decree
+from repro.consensus.replica import LogReplica
+from repro.sim import LinkTimings
+from repro.sim.topology import source_links
+
+
+def build_log_system(n: int = 3, seed: int = 0) -> ConsensusSystem:
+    timings = LinkTimings(gst=2.0)
+    return ConsensusSystem.build_replicated_log(
+        n, lambda: source_links(n, 0, timings), seed=seed)
+
+
+def build_sd_system(n: int = 3, seed: int = 0) -> ConsensusSystem:
+    timings = LinkTimings(gst=2.0)
+    return ConsensusSystem.build_single_decree(
+        n, lambda: source_links(n, 0, timings),
+        proposals=[f"v{i}" for i in range(n)], seed=seed)
+
+
+class TestSingleDecreeReport:
+    def test_no_decisions_yet(self) -> None:
+        system = build_sd_system()
+        system.start_all()
+        report = check_single_decree(system)
+        assert report.agreement  # vacuous
+        assert report.validity
+        assert not report.all_correct_decided
+        assert report.latest_decision is None
+
+    def test_type_check(self) -> None:
+        system = build_log_system()
+        with pytest.raises(TypeError):
+            check_single_decree(system)
+
+
+class TestLogReport:
+    def test_type_check(self) -> None:
+        system = build_sd_system()
+        with pytest.raises(TypeError):
+            check_log(system, set())
+
+    def test_divergence_detected_on_tampered_logs(self) -> None:
+        system = build_log_system()
+        system.start_all()
+        system.run_until(5.0)
+        a = system.node(1).agreement
+        b = system.node(2).agreement
+        assert isinstance(a, LogReplica) and isinstance(b, LogReplica)
+        # Forge disagreeing committed prefixes (bypassing the protocol).
+        a.log[0] = (1, "x")
+        a.commit_index = 0
+        b.log[0] = (2, "y")
+        b.commit_index = 0
+        report = check_log(system, {"x", "y"})
+        assert not report.agreement
+        assert report.divergences
+
+    def test_validity_catches_unknown_commands(self) -> None:
+        system = build_log_system()
+        system.start_all()
+        replica = system.node(1).agreement
+        replica.log[0] = (5, "not-submitted")
+        replica.commit_index = 0
+        report = check_log(system, {"something-else"})
+        assert not report.validity
+
+    def test_noop_entries_are_valid(self) -> None:
+        system = build_log_system()
+        system.start_all()
+        replica = system.node(1).agreement
+        replica.log[0] = None
+        replica.commit_index = 0
+        report = check_log(system, set())
+        assert report.validity
+        assert report.max_committed == 1
+
+    def test_max_committed(self) -> None:
+        system = build_log_system()
+        system.start_all()
+        report = check_log(system, set())
+        assert report.max_committed == 0

@@ -1,0 +1,180 @@
+"""Unit tests for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulation, SimulationError
+
+
+class TestScheduling:
+    def test_call_at_runs_at_time(self, sim: Simulation) -> None:
+        fired: list[float] = []
+        sim.call_at(2.5, lambda: fired.append(sim.now))
+        sim.run_until(5.0)
+        assert fired == [2.5]
+
+    def test_call_after_is_relative(self, sim: Simulation) -> None:
+        fired: list[float] = []
+        sim.call_at(1.0, lambda: sim.call_after(0.5, lambda: fired.append(sim.now)))
+        sim.run_until(5.0)
+        assert fired == [1.5]
+
+    def test_scheduling_in_the_past_raises(self, sim: Simulation) -> None:
+        sim.call_at(1.0, lambda: None)
+        sim.run_until(2.0)
+        with pytest.raises(SimulationError):
+            sim.call_at(1.5, lambda: None)
+
+    def test_negative_delay_raises(self, sim: Simulation) -> None:
+        with pytest.raises(SimulationError):
+            sim.call_after(-0.1, lambda: None)
+
+    def test_scheduling_at_now_is_allowed(self, sim: Simulation) -> None:
+        fired: list[float] = []
+        sim.call_at(1.0, lambda: sim.call_at(sim.now, lambda: fired.append(sim.now)))
+        sim.run_until(2.0)
+        assert fired == [1.0]
+
+
+class TestOrdering:
+    def test_events_fire_in_time_order(self, sim: Simulation) -> None:
+        order: list[int] = []
+        sim.call_at(3.0, lambda: order.append(3))
+        sim.call_at(1.0, lambda: order.append(1))
+        sim.call_at(2.0, lambda: order.append(2))
+        sim.run_until(10.0)
+        assert order == [1, 2, 3]
+
+    def test_same_time_events_fire_in_schedule_order(self, sim: Simulation) -> None:
+        order: list[str] = []
+        sim.call_at(1.0, lambda: order.append("first"))
+        sim.call_at(1.0, lambda: order.append("second"))
+        sim.call_at(1.0, lambda: order.append("third"))
+        sim.run_until(2.0)
+        assert order == ["first", "second", "third"]
+
+    def test_now_tracks_current_event(self, sim: Simulation) -> None:
+        seen: list[float] = []
+        for t in (0.5, 1.5, 2.5):
+            sim.call_at(t, lambda: seen.append(sim.now))
+        sim.run_until(10.0)
+        assert seen == [0.5, 1.5, 2.5]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim: Simulation) -> None:
+        fired: list[int] = []
+        handle = sim.call_at(1.0, lambda: fired.append(1))
+        handle.cancel()
+        sim.run_until(2.0)
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self, sim: Simulation) -> None:
+        handle = sim.call_at(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_handle_reports_time(self, sim: Simulation) -> None:
+        handle = sim.call_at(4.25, lambda: None)
+        assert handle.time == 4.25
+
+
+class TestRunUntil:
+    def test_deadline_inclusive(self, sim: Simulation) -> None:
+        fired: list[float] = []
+        sim.call_at(5.0, lambda: fired.append(sim.now))
+        sim.run_until(5.0)
+        assert fired == [5.0]
+
+    def test_clock_advances_to_deadline_without_events(self, sim: Simulation) -> None:
+        sim.run_until(7.0)
+        assert sim.now == 7.0
+
+    def test_events_beyond_deadline_stay_queued(self, sim: Simulation) -> None:
+        fired: list[float] = []
+        sim.call_at(10.0, lambda: fired.append(sim.now))
+        sim.run_until(5.0)
+        assert fired == []
+        assert sim.pending() == 1
+        sim.run_until(10.0)
+        assert fired == [10.0]
+
+    def test_run_for_is_relative(self, sim: Simulation) -> None:
+        sim.run_until(3.0)
+        sim.run_for(2.0)
+        assert sim.now == 5.0
+
+
+class TestStepAndDrain:
+    def test_step_runs_one_event(self, sim: Simulation) -> None:
+        fired: list[int] = []
+        sim.call_at(1.0, lambda: fired.append(1))
+        sim.call_at(2.0, lambda: fired.append(2))
+        assert sim.step()
+        assert fired == [1]
+
+    def test_step_returns_false_when_empty(self, sim: Simulation) -> None:
+        assert not sim.step()
+
+    def test_drain_runs_everything(self, sim: Simulation) -> None:
+        fired: list[int] = []
+        for t in range(5):
+            sim.call_at(float(t), lambda t=t: fired.append(t))
+        assert sim.drain() == 5
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_drain_guards_against_runaway(self, sim: Simulation) -> None:
+        def reschedule() -> None:
+            sim.call_after(0.1, reschedule)
+
+        sim.call_after(0.1, reschedule)
+        with pytest.raises(SimulationError):
+            sim.drain(max_events=100)
+
+    def test_pending_ignores_cancelled(self, sim: Simulation) -> None:
+        handle = sim.call_at(1.0, lambda: None)
+        sim.call_at(2.0, lambda: None)
+        handle.cancel()
+        assert sim.pending() == 1
+        assert sorted(sim.pending_times()) == [2.0]
+
+
+class TestProbes:
+    def test_probe_fires_periodically(self, sim: Simulation) -> None:
+        ticks: list[float] = []
+        sim.add_probe(1.0, ticks.append)
+        sim.run_until(3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_probe_period_must_be_positive(self, sim: Simulation) -> None:
+        with pytest.raises(SimulationError):
+            sim.add_probe(0.0, lambda now: None)
+
+    def test_probe_sees_simulated_time(self, sim: Simulation) -> None:
+        seen: list[float] = []
+        sim.add_probe(0.5, lambda now: seen.append(now - sim.now))
+        sim.run_until(2.0)
+        assert all(diff == 0.0 for diff in seen)
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_interleavings(self) -> None:
+        def run() -> list[tuple[float, int]]:
+            sim = Simulation(seed=7)
+            log: list[tuple[float, int]] = []
+
+            def emit(tag: int) -> None:
+                log.append((sim.now, tag))
+                delay = sim.rng.stream("delays").uniform(0.1, 1.0)
+                if sim.now < 20:
+                    sim.call_after(delay, lambda: emit(tag))
+
+            emit(1)
+            emit(2)
+            sim.run_until(25.0)
+            return log
+
+        assert run() == run()

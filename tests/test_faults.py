@@ -1,0 +1,78 @@
+"""Unit tests for fault injection."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import Recorder
+
+from repro.sim.cluster import Cluster
+from repro.sim.faults import CrashEvent, CrashPlan, random_crash_plan
+
+
+def build_cluster(n: int = 4) -> Cluster:
+    return Cluster.build(n, lambda pid, sim, net: Recorder(pid, sim, net), seed=1)
+
+
+class TestCrashPlan:
+    def test_events_sorted_by_time(self) -> None:
+        plan = CrashPlan([CrashEvent(5.0, 1), CrashEvent(2.0, 0)])
+        assert [e.time for e in plan.events] == [2.0, 5.0]
+
+    def test_double_crash_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            CrashPlan([CrashEvent(1.0, 0), CrashEvent(2.0, 0)])
+
+    def test_crash_at_constructor(self) -> None:
+        plan = CrashPlan.crash_at((1.0, 2), (3.0, 0))
+        assert plan.crashed_pids == {0, 2}
+        assert len(plan) == 2
+
+    def test_schedule_crashes_at_times(self) -> None:
+        cluster = build_cluster()
+        CrashPlan.crash_at((1.0, 2), (3.0, 0)).schedule(cluster)
+        cluster.start_all()
+        cluster.run_until(2.0)
+        assert cluster.crashed_pids() == [2]
+        cluster.run_until(4.0)
+        assert cluster.crashed_pids() == [0, 2]
+
+    def test_empty_plan_is_fine(self) -> None:
+        cluster = build_cluster()
+        CrashPlan().schedule(cluster)
+        cluster.run_until(1.0)
+        assert cluster.crashed_pids() == []
+
+
+class TestRandomCrashPlan:
+    def test_respects_max_crashes(self) -> None:
+        rng = random.Random(1)
+        for _ in range(20):
+            plan = random_crash_plan(rng, pids=range(6), max_crashes=2,
+                                     earliest=0.0, latest=10.0)
+            assert len(plan) <= 2
+
+    def test_spare_pids_never_crash(self) -> None:
+        rng = random.Random(2)
+        for _ in range(30):
+            plan = random_crash_plan(rng, pids=range(5), max_crashes=4,
+                                     earliest=0.0, latest=10.0, spare=[0])
+            assert 0 not in plan.crashed_pids
+
+    def test_times_within_bounds(self) -> None:
+        rng = random.Random(3)
+        plan = random_crash_plan(rng, pids=range(8), max_crashes=8,
+                                 earliest=2.0, latest=4.0)
+        assert all(2.0 <= e.time <= 4.0 for e in plan.events)
+
+    def test_bad_window_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            random_crash_plan(random.Random(0), range(3), 1,
+                              earliest=5.0, latest=1.0)
+
+    def test_reproducible_given_rng(self) -> None:
+        first = random_crash_plan(random.Random(9), range(6), 3, 0.0, 10.0)
+        second = random_crash_plan(random.Random(9), range(6), 3, 0.0, 10.0)
+        assert first.events == second.events

@@ -1,0 +1,74 @@
+"""Tests for the model-aware scenario fuzzer."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.harness.fuzz import FuzzCase, fuzz, run_case, sample_case
+
+
+class TestSampling:
+    def test_cases_are_reproducible(self) -> None:
+        first = [sample_case(random.Random(7), i) for i in range(10)]
+        second = [sample_case(random.Random(7), i) for i in range(10)]
+        assert first == second
+
+    def test_source_never_crashes(self) -> None:
+        rng = random.Random(1)
+        for index in range(200):
+            case = sample_case(rng, index)
+            crashed = {pid for _, pid in case.crashes}
+            assert case.source not in crashed
+
+    def test_crashes_stay_below_majority(self) -> None:
+        rng = random.Random(2)
+        for index in range(200):
+            case = sample_case(rng, index)
+            assert len(case.crashes) <= (case.n - 1) // 2
+
+    def test_partitions_heal_before_horizon(self) -> None:
+        rng = random.Random(3)
+        for index in range(200):
+            case = sample_case(rng, index)
+            if case.partition is not None:
+                start, end, group = case.partition
+                assert end < case.horizon / 2
+                assert case.source in group, \
+                    "the majority side must retain the source"
+
+    def test_describe_is_one_line(self) -> None:
+        case = sample_case(random.Random(4), 0)
+        text = case.describe()
+        assert "\n" not in text
+        assert f"n={case.n}" in text
+
+
+class TestExecution:
+    def test_single_case_runs_and_reports(self) -> None:
+        case = sample_case(random.Random(5), 0)
+        result = run_case(case)
+        assert result.ok, f"{case.describe()} -- {result.detail}"
+        assert result.detail
+
+    def test_fuzz_budget(self) -> None:
+        results = fuzz(6, fuzz_seed=11, stop_on_failure=False)
+        assert len(results) == 6
+        failures = [r for r in results if not r.ok]
+        assert not failures, "\n".join(
+            f"{r.case.describe()} -- {r.detail}" for r in failures)
+
+    def test_fuzz_validation(self) -> None:
+        with pytest.raises(ValueError):
+            fuzz(0)
+
+    def test_explicit_case_execution(self) -> None:
+        # A handcrafted worst legal single-decree world.
+        case = FuzzCase(index=0, kind="single-decree",
+                        algorithm="comm-efficient", n=5, source=2,
+                        seed=99, horizon=400.0, fair_loss=0.5, gst=8.0,
+                        crashes=((2.0, 0), (4.0, 4)),
+                        partition=(10.0, 30.0, (0, 1, 2, 3)))
+        result = run_case(case)
+        assert result.ok, result.detail

@@ -1,0 +1,86 @@
+"""Unit tests for harness statistics and table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.stats import Summary, percentile, summarize
+from repro.harness.tables import format_value, render_table
+
+
+class TestPercentile:
+    def test_median_of_odd_sample(self) -> None:
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_interpolation(self) -> None:
+        assert percentile([0.0, 10.0], 0.25) == 2.5
+
+    def test_extremes(self) -> None:
+        data = [5.0, 1.0, 9.0]
+        assert percentile(data, 0.0) == 1.0
+        assert percentile(data, 1.0) == 9.0
+
+    def test_single_value(self) -> None:
+        assert percentile([7.0], 0.9) == 7.0
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestSummarize:
+    def test_summary_fields(self) -> None:
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == 2.5
+        assert summary.median == 2.5
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+
+    def test_empty_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str_rendering(self) -> None:
+        text = str(summarize([1.0, 2.0]))
+        assert "mean=1.500" in text
+
+
+class TestFormatValue:
+    def test_float_precision(self) -> None:
+        assert format_value(1.23456) == "1.235"
+
+    def test_bool_words(self) -> None:
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_none_dash(self) -> None:
+        assert format_value(None) == "-"
+
+    def test_nan_dash(self) -> None:
+        assert format_value(float("nan")) == "-"
+
+    def test_strings_pass_through(self) -> None:
+        assert format_value("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_structure(self) -> None:
+        table = render_table(["name", "value"], [["a", 1], ["bb", 2.5]],
+                             title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("+")
+        assert "name" in lines[2]
+        assert table.count("+--") >= 3
+
+    def test_numbers_right_aligned(self) -> None:
+        table = render_table(["v"], [["1"], ["22222"]])
+        rows = [line for line in table.splitlines() if line.startswith("|")]
+        assert rows[-2].endswith("    1 |")
+
+    def test_row_width_mismatch(self) -> None:
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])

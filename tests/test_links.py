@@ -1,0 +1,160 @@
+"""Unit tests for the per-link synchrony models."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import Probe
+
+from repro.sim.links import (
+    DeadLink,
+    EventuallyTimelyLink,
+    FairLossyLink,
+    LossyAsyncLink,
+    TimelyLink,
+)
+
+MSG = Probe(0)
+
+
+class TestTimelyLink:
+    def test_delay_within_bounds(self, rng: random.Random) -> None:
+        link = TimelyLink(delta=0.05, min_delay=0.01)
+        delays = [link.plan(MSG, now=t * 0.1, rng=rng) for t in range(200)]
+        assert all(d is not None for d in delays)
+        assert all(0.01 <= d <= 0.05 for d in delays)
+
+    def test_never_drops(self, rng: random.Random) -> None:
+        link = TimelyLink()
+        assert all(link.plan(MSG, 0.0, rng) is not None for _ in range(100))
+
+    def test_rejects_bad_parameters(self) -> None:
+        with pytest.raises(ValueError):
+            TimelyLink(delta=0.0)
+        with pytest.raises(ValueError):
+            TimelyLink(delta=0.05, min_delay=0.1)
+
+    def test_describe_mentions_delta(self) -> None:
+        assert "0.05" in TimelyLink(delta=0.05).describe()
+
+
+class TestEventuallyTimelyLink:
+    def test_timely_after_gst(self, rng: random.Random) -> None:
+        link = EventuallyTimelyLink(gst=10.0, delta=0.05)
+        delays = [link.plan(MSG, now=10.0 + t, rng=rng) for t in range(100)]
+        assert all(d is not None and d <= 0.05 for d in delays)
+
+    def test_before_gst_can_lose_and_delay(self, rng: random.Random) -> None:
+        link = EventuallyTimelyLink(gst=1000.0, delta=0.05, pre_gst_loss=0.5,
+                                    pre_gst_delay_max=5.0)
+        plans = [link.plan(MSG, now=1.0, rng=rng) for _ in range(400)]
+        losses = sum(1 for p in plans if p is None)
+        slow = sum(1 for p in plans if p is not None and p > 0.05)
+        assert losses > 0, "expected some pre-GST losses"
+        assert slow > 0, "expected some pre-GST delays beyond delta"
+
+    def test_pre_gst_delay_is_finite(self, rng: random.Random) -> None:
+        link = EventuallyTimelyLink(gst=1000.0, pre_gst_delay_max=5.0)
+        plans = [link.plan(MSG, now=1.0, rng=rng) for _ in range(200)]
+        assert all(p <= 5.0 for p in plans if p is not None)
+
+    def test_boundary_exactly_at_gst_is_timely(self, rng: random.Random) -> None:
+        link = EventuallyTimelyLink(gst=10.0, delta=0.05)
+        assert link.plan(MSG, now=10.0, rng=rng) <= 0.05
+
+    def test_rejects_bad_probability(self) -> None:
+        with pytest.raises(ValueError):
+            EventuallyTimelyLink(pre_gst_loss=1.5)
+
+
+class TestFairLossyLink:
+    def test_consecutive_drop_bound_enforced(self, rng: random.Random) -> None:
+        link = FairLossyLink(loss=0.99, max_consecutive_drops=5)
+        streak = 0
+        longest = 0
+        for _ in range(2000):
+            if link.plan(MSG, 0.0, rng) is None:
+                streak += 1
+                longest = max(longest, streak)
+            else:
+                streak = 0
+        assert longest <= 5
+
+    def test_fairness_is_per_type(self, rng: random.Random) -> None:
+        from dataclasses import dataclass
+
+        from repro.sim.messages import Message
+
+        @dataclass(frozen=True)
+        class Other(Message):
+            pass
+
+        link = FairLossyLink(loss=1.0, max_consecutive_drops=2)
+        # Drop two probes, then interleave an Other: its own streak is
+        # independent, so it can still be dropped.
+        assert link.plan(Probe(0), 0.0, rng) is None
+        assert link.plan(Probe(0), 0.0, rng) is None
+        assert link.plan(Other(0), 0.0, rng) is None
+        assert link.plan(Probe(0), 0.0, rng) is not None  # probe streak hit 2
+
+    def test_zero_loss_always_delivers(self, rng: random.Random) -> None:
+        link = FairLossyLink(loss=0.0)
+        assert all(link.plan(MSG, 0.0, rng) is not None for _ in range(50))
+
+    def test_delay_growth_raises_ceiling(self, rng: random.Random) -> None:
+        link = FairLossyLink(loss=0.0, delay_max=1.0, delay_growth_rate=1.0)
+        early = [link.plan(MSG, now=0.0, rng=rng) for _ in range(100)]
+        late = [link.plan(MSG, now=1000.0, rng=rng) for _ in range(100)]
+        assert max(early) <= 1.0
+        assert max(late) > 100.0, "late delays should use the grown ceiling"
+
+    def test_delivery_rate_lower_bound(self, rng: random.Random) -> None:
+        # With a streak bound of k, at least 1 in k+1 messages delivers.
+        link = FairLossyLink(loss=1.0, max_consecutive_drops=9)
+        sent = 1000
+        delivered = sum(1 for _ in range(sent)
+                        if link.plan(MSG, 0.0, rng) is not None)
+        assert delivered >= sent // 10
+
+    def test_rejects_bad_parameters(self) -> None:
+        with pytest.raises(ValueError):
+            FairLossyLink(loss=2.0)
+        with pytest.raises(ValueError):
+            FairLossyLink(max_consecutive_drops=-1)
+        with pytest.raises(ValueError):
+            FairLossyLink(delay_growth_rate=-0.1)
+
+
+class TestLossyAsyncLink:
+    def test_loses_at_configured_rate(self, rng: random.Random) -> None:
+        link = LossyAsyncLink(loss=0.5)
+        plans = [link.plan(MSG, 0.0, rng) for _ in range(1000)]
+        losses = sum(1 for p in plans if p is None)
+        assert 380 <= losses <= 620  # ~50% with slack
+
+    def test_no_fairness_guarantee(self, rng: random.Random) -> None:
+        link = LossyAsyncLink(loss=1.0)
+        assert all(link.plan(MSG, 0.0, rng) is None for _ in range(100))
+
+    def test_dead_link_drops_everything(self, rng: random.Random) -> None:
+        link = DeadLink()
+        assert all(link.plan(MSG, 0.0, rng) is None for _ in range(100))
+        assert link.describe() == "dead"
+
+    def test_rejects_bad_probability(self) -> None:
+        with pytest.raises(ValueError):
+            LossyAsyncLink(loss=-0.1)
+
+
+class TestDeterminismAcrossPolicies:
+    def test_same_rng_same_plans(self) -> None:
+        def plans(policy_factory) -> list:  # noqa: ANN001
+            rng = random.Random(5)
+            policy = policy_factory()
+            return [policy.plan(MSG, now=float(i), rng=rng) for i in range(100)]
+
+        for factory in (TimelyLink, EventuallyTimelyLink, FairLossyLink,
+                        LossyAsyncLink):
+            assert plans(factory) == plans(factory)

@@ -1,0 +1,87 @@
+"""Unit tests for the message base class and protocol messages."""
+
+from __future__ import annotations
+
+from dataclasses import FrozenInstanceError, dataclass
+
+import pytest
+
+from conftest import Probe
+
+from repro.core.messages import Accusation, Alive, FsAlive, Heartbeat, Suspect
+from repro.consensus.messages import (
+    BOTTOM_BALLOT,
+    Ballot,
+    Decide,
+    Prepare,
+    Promise,
+)
+from repro.sim.messages import Message
+
+
+class TestMessageBase:
+    def test_kind_is_class_name(self) -> None:
+        assert Probe(0).kind == "Probe"
+
+    def test_default_fairness_key_is_class_name(self) -> None:
+        assert Probe(0).fairness_key() == "Probe"
+
+    def test_messages_are_immutable(self) -> None:
+        message = Probe(0, payload=1)
+        with pytest.raises(FrozenInstanceError):
+            message.payload = 2  # type: ignore[misc]
+
+    def test_describe_includes_fields(self) -> None:
+        text = Probe(3, payload=9).describe()
+        assert "sender=3" in text and "payload=9" in text
+
+    def test_subclass_can_refine_fairness_key(self) -> None:
+        @dataclass(frozen=True)
+        class PerTarget(Message):
+            target: int
+
+            def fairness_key(self):  # noqa: ANN201
+                return ("PerTarget", self.target)
+
+        assert PerTarget(0, 1).fairness_key() == ("PerTarget", 1)
+
+
+class TestOmegaMessages:
+    def test_alive_carries_priority(self) -> None:
+        message = Alive(2, counter=3, phase=5)
+        assert (message.counter, message.sender) == (3, 2)
+        assert message.phase == 5
+
+    def test_heartbeat_minimal(self) -> None:
+        assert Heartbeat(1).kind == "Heartbeat"
+
+    def test_accusation_fields(self) -> None:
+        message = Accusation(1, target=2, phase=7)
+        assert message.target == 2 and message.phase == 7
+
+    def test_fsalive_counters_tuple(self) -> None:
+        message = FsAlive(0, counters=(0, 1, 2))
+        assert message.counters == (0, 1, 2)
+
+    def test_suspect_fields(self) -> None:
+        message = Suspect(0, target=3, epoch=4)
+        assert (message.target, message.epoch) == (3, 4)
+
+
+class TestConsensusMessages:
+    def test_ballot_ordering(self) -> None:
+        assert Ballot(0, 5) < Ballot(1, 0)
+        assert Ballot(1, 0) < Ballot(1, 1)
+        assert BOTTOM_BALLOT < Ballot(0, 0)
+
+    def test_prepare_covers_instances(self) -> None:
+        message = Prepare(0, Ballot(1, 0), from_instance=3)
+        assert message.from_instance == 3
+
+    def test_promise_accepted_report(self) -> None:
+        report = ((0, (Ballot(0, 1), "v")),)
+        message = Promise(1, Ballot(1, 0), 0, report)
+        assert dict(message.accepted)[0] == (Ballot(0, 1), "v")
+
+    def test_decide_carries_value(self) -> None:
+        assert Decide(0, instance=4, value="x").value == "x"

@@ -1,0 +1,133 @@
+"""Tests for network partitions (correlated loss bursts)."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import Probe, Recorder, make_pair
+
+from repro.consensus import ConsensusSystem, LogWorkload, check_log
+from repro.core import OmegaConfig, analyze_omega_run, make_factory
+from repro.sim import Cluster, LinkTimings
+from repro.sim.engine import Simulation
+from repro.sim.network import Network, NetworkError
+from repro.sim.topology import all_eventually_timely_links, multi_source_links
+
+
+class TestPartitionMechanics:
+    def test_messages_across_partition_dropped(self, sim: Simulation,
+                                               network: Network) -> None:
+        a, b = make_pair(sim, network)
+        network.add_partition(0.0, 10.0, [{0}, {1}])
+        a.send(1, Probe(0))
+        sim.run_until(1.0)
+        assert b.received == []
+        assert network.metrics.dropped_by_reason["partition"] == 1
+
+    def test_messages_within_group_flow(self, sim: Simulation,
+                                        network: Network) -> None:
+        a, b = make_pair(sim, network)
+        c = Recorder(2, sim, network)
+        c.start()
+        network.add_partition(0.0, 10.0, [{0, 1}, {2}])
+        a.send(1, Probe(0))
+        a.send(2, Probe(0))
+        sim.run_until(1.0)
+        assert len(b.received) == 1
+        assert c.received == []
+
+    def test_partition_heals_at_end(self, sim: Simulation,
+                                    network: Network) -> None:
+        a, b = make_pair(sim, network)
+        network.add_partition(0.0, 5.0, [{0}, {1}])
+        sim.run_until(5.0)
+        a.send(1, Probe(0))
+        sim.run_until(6.0)
+        assert len(b.received) == 1
+
+    def test_process_outside_every_group_is_cut_off(self, sim: Simulation,
+                                                    network: Network) -> None:
+        a, b = make_pair(sim, network)
+        network.add_partition(0.0, 10.0, [{0}])
+        a.send(1, Probe(0))
+        b.send(0, Probe(1))
+        sim.run_until(1.0)
+        assert a.received == [] and b.received == []
+
+    def test_zero_duration_rejected(self, network: Network) -> None:
+        with pytest.raises(NetworkError):
+            network.add_partition(5.0, 5.0, [{0}, {1}])
+
+    def test_partitioned_predicate(self, sim: Simulation,
+                                   network: Network) -> None:
+        network.add_partition(2.0, 4.0, [{0, 1}, {2}])
+        assert not network.partitioned(0, 2, 1.0)
+        assert network.partitioned(0, 2, 2.0)
+        assert not network.partitioned(0, 1, 3.0)
+        assert not network.partitioned(0, 2, 4.0)
+
+
+class TestOmegaAcrossPartitions:
+    def test_leader_election_recovers_after_heal(self) -> None:
+        cluster = Cluster.build(
+            5, make_factory("all-timely", OmegaConfig()),
+            links=all_eventually_timely_links(5, LinkTimings(gst=2.0)),
+            seed=1)
+        # A minority {3, 4} is isolated between t=20 and t=60.
+        cluster.network.add_partition(20.0, 60.0, [{0, 1, 2}, {3, 4}])
+        cluster.start_all()
+        cluster.run_until(50.0)
+        # During the partition the two sides disagree.
+        side_a = cluster.process(0).leader()
+        side_b = cluster.process(3).leader()
+        assert side_a == 0 and side_b == 3
+        cluster.run_until(200.0)
+        report = analyze_omega_run(cluster)
+        assert report.omega_holds
+        assert report.final_leader == 0
+
+    def test_majority_side_keeps_a_stable_leader(self) -> None:
+        cluster = Cluster.build(
+            5, make_factory("all-timely", OmegaConfig()),
+            links=all_eventually_timely_links(5, LinkTimings(gst=2.0)),
+            seed=2)
+        cluster.network.add_partition(20.0, 60.0, [{0, 1, 2}, {3, 4}])
+        cluster.start_all()
+        cluster.run_until(58.0)
+        majority_outputs = {cluster.process(pid).leader() for pid in (0, 1, 2)}
+        assert majority_outputs == {0}
+
+
+class TestConsensusAcrossPartitions:
+    def test_log_stalls_without_majority_then_resumes(self) -> None:
+        timings = LinkTimings(gst=2.0)
+        system = ConsensusSystem.build_replicated_log(
+            5, lambda: multi_source_links(5, (0, 1), timings), seed=3)
+        workload = LogWorkload(system, count=20, period=0.5, start=4.0)
+        # Fragment into minorities: no quorum anywhere for 30s, on both
+        # the agreement and the failure-detector network.
+        for network in (system.agreement_network, system.fd_network):
+            network.add_partition(10.0, 40.0, [{0, 1}, {2, 3}, {4}])
+        system.start_all()
+        system.run_until(38.0)
+        report_mid = check_log(system, workload.submitted)
+        committed_mid = report_mid.max_committed
+        system.run_until(39.5)
+        assert check_log(system, workload.submitted).max_committed \
+            <= committed_mid + 1, "no quorum: commits must stall"
+        system.run_until(300.0)
+        report = check_log(system, workload.submitted)
+        assert report.agreement and report.validity
+        assert workload.done()
+
+    def test_safety_holds_even_with_symmetric_split(self) -> None:
+        timings = LinkTimings(gst=2.0)
+        system = ConsensusSystem.build_replicated_log(
+            4, lambda: multi_source_links(4, (0, 2), timings), seed=4)
+        workload = LogWorkload(system, count=10, period=0.5, start=3.0)
+        for network in (system.agreement_network, system.fd_network):
+            network.add_partition(8.0, 30.0, [{0, 1}, {2, 3}])
+        system.start_all()
+        system.run_until(250.0)
+        report = check_log(system, workload.submitted)
+        assert report.agreement and report.validity

@@ -1,0 +1,137 @@
+"""Property-based tests for the extension layers (hypothesis)."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import Probe
+
+from repro.consensus import (
+    ConsensusSystem,
+    JournalMachine,
+    LogWorkload,
+    check_compacting_log,
+)
+from repro.core import analyze_omega_run, make_factory, OmegaConfig
+from repro.core.relay import SeenTracker
+from repro.sim import Cluster, CrashPlan, LinkTimings
+from repro.sim.links import FairLossyLink
+from repro.sim.topology import f_source_links, multi_source_links
+
+FAST = LinkTimings(gst=3.0)
+
+
+class TestSeenTrackerProperties:
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 500)),
+                    min_size=1, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_second_sighting_always_reports_seen(
+            self, events: list[tuple[int, int]]) -> None:
+        tracker = SeenTracker(sparse_limit=1000)
+        seen_so_far: set[tuple[int, int]] = set()
+        for origin, seq in events:
+            expected = (origin, seq) in seen_so_far
+            assert tracker.check_and_add(origin, seq) == expected
+            seen_so_far.add((origin, seq))
+
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=500),
+           st.integers(min_value=1, max_value=32))
+    @settings(max_examples=40, deadline=None)
+    def test_sparse_memory_respects_limit(self, seqs: list[int],
+                                          limit: int) -> None:
+        tracker = SeenTracker(sparse_limit=limit)
+        for seq in seqs:
+            tracker.check_and_add(0, seq)
+        assert len(tracker._sparse.get(0, ())) <= limit
+
+
+class TestOutageScheduleProperties:
+    @given(period=st.floats(min_value=1.0, max_value=30.0),
+           growth=st.floats(min_value=0.5, max_value=10.0),
+           seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_delivery_times_preserve_fairness(self, period: float,
+                                              growth: float,
+                                              seed: int) -> None:
+        # Over any horizon, a constant-rate sender gets *some* deliveries
+        # through — outages delay, they do not starve forever.
+        link = FairLossyLink(loss=0.0, delay_max=0.1,
+                             outage_period=period, outage_growth=growth)
+        rng = random.Random(seed)
+        delivered = 0
+        t = 0.0
+        while t < 200.0:
+            if link.plan(Probe(0), t, rng) is not None:
+                delivered += 1
+            t += 0.5
+        assert delivered == 400, "outages must hold, never drop"
+
+    @given(period=st.floats(min_value=1.0, max_value=30.0),
+           growth=st.floats(min_value=0.5, max_value=10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_hold_never_negative_and_monotone_schedule(
+            self, period: float, growth: float) -> None:
+        link = FairLossyLink(loss=0.0, outage_period=period,
+                             outage_growth=growth)
+        previous_arrival = 0.0
+        rng = random.Random(0)
+        t = 0.0
+        while t < 150.0:
+            hold = link._outage_hold(t)
+            assert hold >= 0.0
+            arrival_floor = t + hold
+            # Holds release in schedule order: arrival floors of later
+            # sends never precede those of earlier sends.
+            assert arrival_floor >= previous_arrival - 1e-9
+            previous_arrival = max(previous_arrival, arrival_floor)
+            t += 0.7
+
+
+class TestFSourceTopologyProperties:
+    @given(data=st.data())
+    @settings(max_examples=8, deadline=None)
+    def test_omega_holds_for_random_fsource_topologies(self, data) -> None:  # noqa: ANN001
+        n = data.draw(st.integers(min_value=4, max_value=7))
+        source = data.draw(st.integers(min_value=0, max_value=n - 1))
+        f = data.draw(st.integers(min_value=1, max_value=min(3, n - 1)))
+        others = [pid for pid in range(n) if pid != source]
+        targets = tuple(data.draw(
+            st.sets(st.sampled_from(others), min_size=f, max_size=f)))
+        seed = data.draw(st.integers(0, 10_000))
+        cluster = Cluster.build(
+            n, make_factory("f-source", OmegaConfig(), n=n, f=f),
+            links=f_source_links(n, source, targets, FAST), seed=seed)
+        cluster.start_all()
+        cluster.run_until(500.0)
+        report = analyze_omega_run(cluster)
+        assert report.omega_holds, \
+            f"n={n} source={source} targets={targets} seed={seed}"
+
+
+class TestCompactionSafetyProperties:
+    @given(seed=st.integers(0, 10_000),
+           keep_tail=st.integers(min_value=2, max_value=16),
+           victim=st.sampled_from([0, 3, 4]),
+           crash_time=st.floats(min_value=5.0, max_value=30.0))
+    @settings(max_examples=8, deadline=None)
+    def test_compacting_log_safe_under_random_crash(
+            self, seed: int, keep_tail: int, victim: int,
+            crash_time: float) -> None:
+        system = ConsensusSystem.build_compacting_log(
+            5, lambda: multi_source_links(5, (1, 2), FAST),
+            machine_factory=JournalMachine, keep_tail=keep_tail, seed=seed)
+        workload = LogWorkload(system, count=25, period=0.5, start=3.0)
+        CrashPlan.crash_at((crash_time, victim)).schedule(system)
+        system.start_all()
+        system.run_until(300.0)
+        report = check_compacting_log(system, workload.submitted)
+        assert report.agreement, report.divergences
+        assert report.validity
+        journals = {system.node(pid).agreement.machine_snapshot()
+                    for pid in system.up_pids()
+                    if system.node(pid).agreement.commit_index
+                    == report.max_commit}
+        assert len(journals) <= 1

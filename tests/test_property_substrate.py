@@ -1,0 +1,106 @@
+"""Property-based tests (hypothesis) for the simulation substrate."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import Probe
+
+from repro.sim.engine import Simulation
+from repro.sim.links import FairLossyLink
+from repro.sim.metrics import MetricsCollector
+from repro.sim.rng import RngFabric
+
+
+class TestEngineProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0,
+                              allow_nan=False), min_size=1, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_events_always_fire_in_nondecreasing_time_order(
+            self, times: list[float]) -> None:
+        sim = Simulation()
+        fired: list[float] = []
+        for t in times:
+            sim.call_at(t, lambda t=t: fired.append(sim.now))
+        sim.run_until(101.0)
+        assert fired == sorted(fired)
+        assert len(fired) == len(times)
+
+    @given(st.lists(st.tuples(st.floats(min_value=0, max_value=50,
+                                        allow_nan=False),
+                              st.booleans()),
+                    min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_cancelled_events_never_fire(
+            self, schedule: list[tuple[float, bool]]) -> None:
+        sim = Simulation()
+        fired: list[int] = []
+        for index, (time, cancel) in enumerate(schedule):
+            handle = sim.call_at(time, lambda index=index: fired.append(index))
+            if cancel:
+                handle.cancel()
+        sim.run_until(51.0)
+        expected = [i for i, (_, cancel) in enumerate(schedule) if not cancel]
+        assert sorted(fired) == expected
+
+
+class TestRngProperties:
+    @given(st.integers(min_value=0, max_value=2**32),
+           st.text(min_size=1, max_size=16))
+    @settings(max_examples=40, deadline=None)
+    def test_streams_reproducible(self, seed: int, name: str) -> None:
+        a = RngFabric(seed).stream(name)
+        b = RngFabric(seed).stream(name)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+class TestFairLossyProperties:
+    @given(loss=st.floats(min_value=0.0, max_value=1.0),
+           bound=st.integers(min_value=0, max_value=12),
+           seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=80, deadline=None)
+    def test_consecutive_drops_never_exceed_bound(
+            self, loss: float, bound: int, seed: int) -> None:
+        link = FairLossyLink(loss=loss, max_consecutive_drops=bound)
+        rng = random.Random(seed)
+        streak = 0
+        for _ in range(500):
+            if link.plan(Probe(0), 0.0, rng) is None:
+                streak += 1
+                assert streak <= bound
+            else:
+                streak = 0
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_infinite_sends_imply_deliveries(self, seed: int) -> None:
+        # Finite-run analogue: k+1 sends of one type always include at
+        # least one delivery when loss interacts with the fairness bound.
+        link = FairLossyLink(loss=1.0, max_consecutive_drops=4)
+        rng = random.Random(seed)
+        window = [link.plan(Probe(0), 0.0, rng) for _ in range(5)]
+        assert any(plan is not None for plan in window)
+
+
+class TestMetricsProperties:
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0.0, max_value=30.0, allow_nan=False),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=4),
+    ), min_size=1, max_size=80))
+    @settings(max_examples=50, deadline=None)
+    def test_window_sums_match_total(
+            self, events: list[tuple[float, int, int]]) -> None:
+        metrics = MetricsCollector(window=2.0)
+        for time, src, dst in events:
+            if src != dst:
+                metrics.on_send(time, src, dst, "A")
+        timeline = metrics.timeline(until=32.0)
+        assert sum(w.messages for w in timeline) == metrics.total_sent
+        senders_union: set[int] = set()
+        for window in timeline:
+            senders_union |= window.senders
+        assert senders_union == set(metrics.sent_by_sender)

@@ -1,0 +1,153 @@
+"""Tests for the Omega QoS metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import analyze_omega_run, measure_qos, output_at
+from repro.core.omega import OmegaProtocol
+from repro.harness import OmegaScenario
+from repro.sim import Cluster, LinkTimings
+from repro.sim.topology import all_timely_links
+
+
+class Scripted(OmegaProtocol):
+    """Output history driven directly by the test."""
+
+
+def scripted_cluster(n: int = 3) -> Cluster:
+    return Cluster.build(n, lambda pid, sim, net: Scripted(pid, sim, net),
+                         links=all_timely_links(n), seed=0, trace=True)
+
+
+class TestOutputAt:
+    def test_before_start_is_none(self) -> None:
+        assert output_at([(1.0, 5)], 0.5) is None
+
+    def test_piecewise_lookup(self) -> None:
+        history = [(0.0, 0), (2.0, 1), (5.0, 2)]
+        assert output_at(history, 0.0) == 0
+        assert output_at(history, 1.999) == 0
+        assert output_at(history, 2.0) == 1
+        assert output_at(history, 10.0) == 2
+
+    def test_empty_history(self) -> None:
+        assert output_at([], 1.0) is None
+
+
+class TestAgreementFractions:
+    def test_full_agreement_run(self) -> None:
+        cluster = scripted_cluster()
+        cluster.start_all()
+        for pid in cluster.pids:
+            cluster.process(pid)._output(1)
+        cluster.run_until(10.0)
+        qos = measure_qos(cluster)
+        assert qos.agreement_fraction == pytest.approx(1.0)
+        assert qos.good_fraction == pytest.approx(1.0)
+
+    def test_partial_agreement_window(self) -> None:
+        cluster = scripted_cluster()
+        cluster.start_all()          # outputs: 0, 1, 2 (disagreement)
+        cluster.run_until(5.0)
+        for pid in cluster.pids:
+            cluster.process(pid)._output(0)  # agree from t=5
+        cluster.run_until(10.0)
+        qos = measure_qos(cluster)
+        assert qos.agreement_fraction == pytest.approx(0.5)
+
+    def test_good_fraction_excludes_dead_leader_time(self) -> None:
+        cluster = scripted_cluster()
+        cluster.start_all()
+        for pid in cluster.pids:
+            cluster.process(pid)._output(2)
+        cluster.run_until(4.0)
+        cluster.crash(2)             # everyone still trusts 2 (agreement,
+        cluster.run_until(10.0)      # but not "good") until the end
+        qos = measure_qos(cluster)
+        assert qos.agreement_fraction == pytest.approx(1.0)
+        assert qos.good_fraction == pytest.approx(0.4)
+
+    def test_window_validation(self) -> None:
+        cluster = scripted_cluster()
+        with pytest.raises(ValueError):
+            measure_qos(cluster, start=5.0, end=5.0)
+
+
+class TestDetectionTimes:
+    def test_detection_measured_from_crash_to_final_departure(self) -> None:
+        cluster = scripted_cluster()
+        cluster.start_all()
+        for pid in cluster.pids:
+            cluster.process(pid)._output(2)
+        cluster.run_until(4.0)
+        cluster.crash(2)
+        cluster.run_until(7.0)
+        cluster.process(0)._output(0)
+        cluster.process(1)._output(0)
+        cluster.run_until(10.0)
+        qos = measure_qos(cluster)
+        assert qos.detection_times == {2: pytest.approx(3.0)}
+        assert qos.worst_detection_time == pytest.approx(3.0)
+
+    def test_flap_back_counts_against_detector(self) -> None:
+        cluster = scripted_cluster()
+        cluster.start_all()
+        for pid in cluster.pids:
+            cluster.process(pid)._output(2)
+        cluster.run_until(4.0)
+        cluster.crash(2)
+        cluster.run_until(5.0)
+        cluster.process(0)._output(0)  # leaves...
+        cluster.run_until(6.0)
+        cluster.process(0)._output(2)  # ...flaps back to the dead leader
+        cluster.run_until(8.0)
+        cluster.process(0)._output(0)  # final departure
+        cluster.process(1)._output(0)
+        cluster.run_until(10.0)
+        qos = measure_qos(cluster)
+        assert qos.detection_times[2] == pytest.approx(4.0)
+
+    def test_censored_when_never_departing(self) -> None:
+        cluster = scripted_cluster()
+        cluster.start_all()
+        for pid in cluster.pids:
+            cluster.process(pid)._output(2)
+        cluster.run_until(4.0)
+        cluster.crash(2)
+        cluster.run_until(10.0)
+        qos = measure_qos(cluster)
+        assert qos.detection_times[2] == pytest.approx(6.0), \
+            "censored at the window end"
+
+    def test_no_crashes_no_detection_entries(self) -> None:
+        cluster = scripted_cluster()
+        cluster.start_all()
+        cluster.run_until(5.0)
+        qos = measure_qos(cluster)
+        assert qos.detection_times == {}
+        assert qos.worst_detection_time is None
+
+
+class TestOnRealRuns:
+    def test_comm_efficient_qos_is_high(self) -> None:
+        scenario = OmegaScenario(algorithm="comm-efficient", n=5,
+                                 system="source", source=1, seed=4,
+                                 horizon=200.0, trace=True)
+        cluster = scenario.build()
+        cluster.start_all()
+        cluster.run_until(200.0)
+        assert analyze_omega_run(cluster).omega_holds
+        qos = measure_qos(cluster, start=50.0)
+        assert qos.agreement_fraction > 0.95
+        assert qos.good_fraction > 0.95
+
+    def test_flap_counts_match_checker(self) -> None:
+        scenario = OmegaScenario(algorithm="source", n=4, system="source",
+                                 source=0, seed=2, horizon=100.0, trace=True)
+        cluster = scenario.build()
+        cluster.start_all()
+        cluster.run_until(100.0)
+        qos = measure_qos(cluster)
+        report = analyze_omega_run(cluster)
+        assert qos.total_changes == report.total_changes

@@ -1,0 +1,156 @@
+"""Tests for the message-relaying extension (eventually timely paths)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    CommEfficientOmega,
+    OmegaConfig,
+    SourceOmega,
+    analyze_omega_run,
+    make_factory,
+    make_relayed,
+    origins_between,
+)
+from repro.core.relay import BROADCAST, Relay, SeenTracker
+from repro.core.messages import Alive
+from repro.sim import Cluster, LinkTimings
+from repro.sim.topology import relay_tree_links, source_links
+
+ADVERSARIAL = LinkTimings(gst=4.0, fair_outage_period=15.0,
+                          fair_outage_growth=4.0)
+
+
+class TestSeenTracker:
+    def test_first_sight_is_new(self) -> None:
+        tracker = SeenTracker()
+        assert not tracker.check_and_add(0, 0)
+        assert tracker.check_and_add(0, 0)
+
+    def test_origins_are_independent(self) -> None:
+        tracker = SeenTracker()
+        assert not tracker.check_and_add(0, 0)
+        assert not tracker.check_and_add(1, 0)
+
+    def test_floor_compaction(self) -> None:
+        tracker = SeenTracker()
+        for seq in range(100):
+            tracker.check_and_add(3, seq)
+        assert tracker.seen_count(3) == 100
+        assert tracker._sparse[3] == set(), "contiguous prefix compacted"
+
+    def test_out_of_order_then_compacted(self) -> None:
+        tracker = SeenTracker()
+        tracker.check_and_add(0, 2)
+        tracker.check_and_add(0, 0)
+        tracker.check_and_add(0, 1)
+        assert tracker._floor[0] == 3
+
+    def test_sparse_limit_bounds_memory(self) -> None:
+        tracker = SeenTracker(sparse_limit=10)
+        # Sequence 0 is permanently lost: every other number arrives.
+        for seq in range(1, 1000):
+            tracker.check_and_add(0, seq)
+        assert len(tracker._sparse[0]) <= 10
+
+    def test_lost_seq_treated_as_seen_after_compaction(self) -> None:
+        tracker = SeenTracker(sparse_limit=5)
+        for seq in range(1, 20):
+            tracker.check_and_add(0, seq)
+        assert tracker.check_and_add(0, 0), \
+            "a gap the compactor skipped counts as seen"
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError):
+            SeenTracker(sparse_limit=0)
+
+
+class TestRelayEnvelope:
+    def test_fairness_key_distinguishes_origin_and_inner(self) -> None:
+        inner = Alive(0, counter=0, phase=0)
+        a = Relay(1, 0, 5, BROADCAST, inner)
+        b = Relay(1, 2, 5, BROADCAST, inner)
+        assert a.fairness_key() != b.fairness_key()
+        assert a.fairness_key()[0] == "Relay"
+
+
+class TestMakeRelayed:
+    def test_class_identity_and_caching(self) -> None:
+        cls = make_relayed(CommEfficientOmega)
+        assert cls.__name__ == "RelayedCommEfficientOmega"
+        assert make_relayed(CommEfficientOmega) is cls
+        assert issubclass(cls, CommEfficientOmega)
+
+    def test_independent_base_classes(self) -> None:
+        assert make_relayed(SourceOmega) is not make_relayed(CommEfficientOmega)
+
+
+def run_relayed(n: int = 6, source: int = 2, seed: int = 1,
+                horizon: float = 400.0) -> Cluster:
+    cls = make_relayed(CommEfficientOmega)
+    cluster = Cluster.build(
+        n, lambda pid, sim, net: cls(pid, sim, net, OmegaConfig()),
+        links=relay_tree_links(n, source, ADVERSARIAL), seed=seed)
+    cluster.start_all()
+    cluster.run_until(horizon)
+    return cluster
+
+
+class TestRelayedOmegaOnPathTopology:
+    def test_unrelayed_fails_on_tree_topology(self) -> None:
+        cluster = Cluster.build(
+            6, make_factory("comm-efficient", OmegaConfig()),
+            links=relay_tree_links(6, 2, ADVERSARIAL), seed=1)
+        cluster.start_all()
+        cluster.run_until(400.0)
+        late_flaps = sum(
+            1 for pid in cluster.up_pids()
+            for time, _ in cluster.process(pid).history if time > 250.0)
+        assert late_flaps > 0, \
+            "without relaying no process is a direct source: must flap"
+
+    def test_relayed_stabilizes_on_the_path_source(self) -> None:
+        cluster = run_relayed()
+        report = analyze_omega_run(cluster)
+        assert report.omega_holds
+        assert report.final_leader == 2
+        assert report.stabilization_time < 250.0
+
+    def test_eventually_only_leader_originates(self) -> None:
+        cluster = run_relayed()
+        end = cluster.sim.now
+        assert origins_between(cluster, end - 40.0, end) == {2}
+
+    def test_everyone_forwards(self) -> None:
+        cluster = run_relayed()
+        end = cluster.sim.now
+        senders = cluster.metrics.senders_between(end - 40.0, end)
+        assert senders == set(range(6)), \
+            "relays keep forwarding the leader's heartbeats"
+
+    def test_reproducible(self) -> None:
+        first = analyze_omega_run(run_relayed(seed=5))
+        second = analyze_omega_run(run_relayed(seed=5))
+        assert first.final_leader == second.final_leader
+        assert first.stabilization_time == second.stabilization_time
+
+
+class TestRelayedOnDirectSourceSystem:
+    def test_relaying_is_harmless_where_direct_links_exist(self) -> None:
+        cls = make_relayed(CommEfficientOmega)
+        cluster = Cluster.build(
+            5, lambda pid, sim, net: cls(pid, sim, net, OmegaConfig()),
+            links=source_links(5, 1, LinkTimings(gst=4.0)), seed=3)
+        cluster.start_all()
+        cluster.run_until(200.0)
+        report = analyze_omega_run(cluster)
+        assert report.omega_holds
+
+    def test_origins_between_rejects_unrelayed(self) -> None:
+        cluster = Cluster.build(
+            4, make_factory("comm-efficient", OmegaConfig()),
+            links=source_links(4, 0, LinkTimings(gst=2.0)), seed=1)
+        cluster.start_all()
+        with pytest.raises(TypeError):
+            origins_between(cluster, 0.0, 1.0)

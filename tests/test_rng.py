@@ -1,0 +1,64 @@
+"""Unit tests for the deterministic RNG fabric."""
+
+from __future__ import annotations
+
+from repro.sim.rng import RngFabric
+
+
+class TestStreamIdentity:
+    def test_same_name_returns_same_generator(self) -> None:
+        fabric = RngFabric(seed=1)
+        assert fabric.stream("a") is fabric.stream("a")
+
+    def test_name_parts_join_like_slash_string(self) -> None:
+        fabric = RngFabric(seed=1)
+        assert fabric.stream("link", 0, 1) is fabric.stream("link/0/1")
+
+    def test_distinct_names_give_distinct_generators(self) -> None:
+        fabric = RngFabric(seed=1)
+        assert fabric.stream("a") is not fabric.stream("b")
+
+
+class TestReproducibility:
+    def test_same_seed_same_sequence(self) -> None:
+        first = RngFabric(seed=42).stream("x")
+        second = RngFabric(seed=42).stream("x")
+        assert [first.random() for _ in range(20)] == \
+            [second.random() for _ in range(20)]
+
+    def test_different_seed_different_sequence(self) -> None:
+        first = RngFabric(seed=42).stream("x")
+        second = RngFabric(seed=43).stream("x")
+        assert [first.random() for _ in range(5)] != \
+            [second.random() for _ in range(5)]
+
+    def test_creation_order_does_not_matter(self) -> None:
+        fabric_ab = RngFabric(seed=7)
+        a_first = fabric_ab.stream("a").random()
+        fabric_ab.stream("b")
+
+        fabric_ba = RngFabric(seed=7)
+        fabric_ba.stream("b")
+        a_second = fabric_ba.stream("a").random()
+        assert a_first == a_second
+
+    def test_streams_are_statistically_independent(self) -> None:
+        fabric = RngFabric(seed=0)
+        a = [fabric.stream("a").random() for _ in range(50)]
+        b = [fabric.stream("b").random() for _ in range(50)]
+        assert a != b
+
+
+class TestFork:
+    def test_fork_is_reproducible(self) -> None:
+        first = RngFabric(seed=5).fork("child").stream("s").random()
+        second = RngFabric(seed=5).fork("child").stream("s").random()
+        assert first == second
+
+    def test_fork_differs_from_parent(self) -> None:
+        parent = RngFabric(seed=5)
+        child = parent.fork("child")
+        assert parent.stream("s").random() != child.stream("s").random()
+
+    def test_seed_property(self) -> None:
+        assert RngFabric(seed=9).seed == 9

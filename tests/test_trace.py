@@ -1,0 +1,59 @@
+"""Unit tests for the trace log."""
+
+from __future__ import annotations
+
+from repro.sim.trace import (
+    CrashRecord,
+    DeliverRecord,
+    DropRecord,
+    SendRecord,
+    TraceLog,
+)
+
+
+def sample_log() -> TraceLog:
+    log = TraceLog(enabled=True)
+    log.record(SendRecord(0.1, 0, 1, "A"))
+    log.record(SendRecord(0.2, 0, 2, "B"))
+    log.record(DeliverRecord(0.3, 0, 1, "A", sent_at=0.1))
+    log.record(DropRecord(0.4, 0, 2, "B", reason="link"))
+    log.record(CrashRecord(0.5, 2))
+    return log
+
+
+class TestRecording:
+    def test_length_and_iteration(self) -> None:
+        log = sample_log()
+        assert len(log) == 5
+        assert len(list(log)) == 5
+
+    def test_disabled_log_records_nothing(self) -> None:
+        log = TraceLog(enabled=False)
+        log.record(SendRecord(0.1, 0, 1, "A"))
+        assert len(log) == 0
+
+
+class TestQueries:
+    def test_select_by_type(self) -> None:
+        log = sample_log()
+        assert len(log.select(SendRecord)) == 2
+        assert len(log.select(CrashRecord)) == 1
+
+    def test_select_by_predicate(self) -> None:
+        log = sample_log()
+        late = log.select(predicate=lambda r: r.time > 0.25)
+        assert len(late) == 3
+
+    def test_field_filters(self) -> None:
+        log = sample_log()
+        assert len(log.sends(src=0)) == 2
+        assert len(log.sends(dst=2)) == 1
+        assert log.deliveries(kind="A")[0].sent_at == 0.1
+        assert log.drops(reason="link")[0].dst == 2
+
+    def test_crashes(self) -> None:
+        assert [c.pid for c in sample_log().crashes()] == [2]
+
+    def test_delivery_delay(self) -> None:
+        record = DeliverRecord(1.5, 0, 1, "A", sent_at=1.2)
+        assert abs(record.delay - 0.3) < 1e-12

@@ -1,0 +1,104 @@
+"""Tests for the trace viewer."""
+
+from __future__ import annotations
+
+from repro.sim import Cluster, LinkTimings
+from repro.sim.topology import source_links
+from repro.sim.trace import TraceLog
+from repro.sim.traceview import (
+    render_message_flow,
+    render_process_timeline,
+    summarize_trace,
+)
+from repro.core import OmegaConfig, make_factory
+
+
+def traced_run() -> Cluster:
+    cluster = Cluster.build(
+        3, make_factory("comm-efficient", OmegaConfig()),
+        links=source_links(3, 1, LinkTimings(gst=2.0)), seed=5, trace=True)
+    cluster.start_all()
+    cluster.run_until(20.0)
+    return cluster
+
+
+class TestMessageFlow:
+    def test_lists_sends_with_outcomes(self) -> None:
+        cluster = traced_run()
+        text = render_message_flow(cluster.trace, limit=50)
+        assert "─Alive→" in text
+        assert "delivered +" in text
+
+    def test_drops_annotated(self) -> None:
+        cluster = traced_run()
+        text = render_message_flow(cluster.trace, limit=10_000)
+        assert "DROPPED (link)" in text, \
+            "fair-lossy links must have dropped something in 20s"
+
+    def test_time_window_filter(self) -> None:
+        cluster = traced_run()
+        text = render_message_flow(cluster.trace, start=5.0, end=6.0,
+                                   limit=10_000)
+        for line in text.splitlines():
+            if line.startswith("t="):
+                time = float(line.split("p")[0].replace("t=", "").strip())
+                assert 5.0 <= time <= 6.0
+
+    def test_pid_filter(self) -> None:
+        cluster = traced_run()
+        text = render_message_flow(cluster.trace, pids=[2], limit=10_000)
+        for line in text.splitlines():
+            if line.startswith("t="):
+                assert "p2" in line
+
+    def test_kind_filter_and_empty(self) -> None:
+        cluster = traced_run()
+        assert render_message_flow(cluster.trace,
+                                   kinds=["NoSuchKind"]) == \
+            "(no messages matched)"
+
+    def test_limit_truncates(self) -> None:
+        cluster = traced_run()
+        text = render_message_flow(cluster.trace, limit=3)
+        assert "truncated at 3" in text
+        assert sum(1 for line in text.splitlines()
+                   if line.startswith("t=")) == 3
+
+
+class TestProcessTimeline:
+    def test_send_recv_lines(self) -> None:
+        cluster = traced_run()
+        text = render_process_timeline(cluster.trace, 1, limit=10_000)
+        assert "send Alive" in text
+        assert "recv" in text
+
+    def test_crash_line(self) -> None:
+        cluster = traced_run()
+        cluster.crash(2)
+        text = render_process_timeline(cluster.trace, 2, limit=10_000)
+        assert "CRASH" in text
+
+    def test_unknown_pid_empty(self) -> None:
+        cluster = traced_run()
+        assert render_process_timeline(cluster.trace, 99) == \
+            "(no events for p99)"
+
+
+class TestSummary:
+    def test_per_kind_counts(self) -> None:
+        cluster = traced_run()
+        text = summarize_trace(cluster.trace)
+        assert "Alive" in text
+        assert "sent" in text and "delivered" in text
+
+    def test_empty_trace(self) -> None:
+        assert summarize_trace(TraceLog(enabled=True)) == "(empty trace)"
+
+    def test_counts_are_consistent(self) -> None:
+        cluster = traced_run()
+        text = summarize_trace(cluster.trace)
+        alive_line = next(line for line in text.splitlines()
+                          if line.startswith("Alive"))
+        _, sent, delivered, dropped = alive_line.split()
+        assert int(sent) >= int(delivered) + int(dropped) - 1
+        assert int(sent) == cluster.metrics.sent_by_kind["Alive"]

@@ -1,0 +1,69 @@
+"""Unit tests for the replicated-log client workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus import ConsensusSystem, LogWorkload
+from repro.sim import CrashPlan, LinkTimings
+from repro.sim.topology import multi_source_links
+
+
+def build(n: int = 4, seed: int = 0) -> ConsensusSystem:
+    timings = LinkTimings(gst=2.0)
+    return ConsensusSystem.build_replicated_log(
+        n, lambda: multi_source_links(n, (0, 1), timings), seed=seed)
+
+
+class TestSubmission:
+    def test_commands_submitted_at_rate(self) -> None:
+        system = build()
+        workload = LogWorkload(system, count=5, period=2.0, start=1.0)
+        system.start_all()
+        system.run_until(4.9)
+        assert len(workload.submit_times) == 2  # t=1.0 and t=3.0
+        system.run_until(20.0)
+        assert len(workload.submit_times) == 5
+
+    def test_submitted_set(self) -> None:
+        system = build()
+        workload = LogWorkload(system, count=3, period=1.0)
+        assert workload.submitted == {"cmd-0", "cmd-1", "cmd-2"}
+
+    def test_validation(self) -> None:
+        system = build()
+        with pytest.raises(ValueError):
+            LogWorkload(system, count=0, period=1.0)
+        with pytest.raises(ValueError):
+            LogWorkload(system, count=1, period=0.0)
+
+
+class TestCompletion:
+    def test_done_after_commit(self) -> None:
+        system = build()
+        workload = LogWorkload(system, count=8, period=0.5, start=3.0)
+        system.start_all()
+        assert not workload.done()
+        system.run_until(60.0)
+        assert workload.done()
+
+    def test_retry_survives_crash_of_target(self) -> None:
+        # Crash a node that will receive some submissions; retries go to
+        # surviving nodes, so everything still commits.
+        system = build(seed=3)
+        workload = LogWorkload(system, count=10, period=0.5, start=3.0,
+                               retry_period=3.0)
+        CrashPlan.crash_at((4.0, 2)).schedule(system)
+        system.start_all()
+        system.run_until(120.0)
+        assert workload.done()
+
+    def test_commit_latency_positive(self) -> None:
+        system = build()
+        workload = LogWorkload(system, count=5, period=0.5, start=3.0)
+        system.start_all()
+        system.run_until(60.0)
+        leader = system.node(0).omega.leader()
+        latencies = workload.commit_latency(leader)
+        assert len(latencies) == 5
+        assert all(latency > 0 for latency in latencies.values())
