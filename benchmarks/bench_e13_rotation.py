@@ -25,7 +25,7 @@ from repro.consensus import (
     check_single_decree,
 )
 from repro.harness import render_table
-from repro.sim import CrashPlan, LinkTimings
+from repro.sim import FaultPlan, LinkTimings
 from repro.sim.topology import source_links
 
 N = 5
@@ -48,7 +48,7 @@ def run_rotating(crashes, seed: int):  # noqa: ANN001, ANN201
         N, lambda: source_links(N, SOURCE, TIMINGS),
         proposals=[f"v{i}" for i in range(N)], slot=SLOT, seed=seed)
     if crashes:
-        CrashPlan.crash_at(*crashes).schedule(cluster)
+        FaultPlan.crashes_at(*crashes).schedule(cluster)
     cluster.start_all()
     cluster.run_until(HORIZON)
     times = [cluster.process(pid).decision_time
@@ -65,7 +65,7 @@ def run_omega(crashes, seed: int):  # noqa: ANN001, ANN201
         N, lambda: source_links(N, SOURCE, TIMINGS),
         proposals=[f"v{i}" for i in range(N)], seed=seed)
     if crashes:
-        CrashPlan.crash_at(*crashes).schedule(system)
+        FaultPlan.crashes_at(*crashes).schedule(system)
     system.start_all()
     system.run_until(HORIZON)
     report = check_single_decree(system)

@@ -13,7 +13,7 @@ from _common import emit, mean
 
 from repro.consensus import ConsensusSystem, check_single_decree
 from repro.harness import render_table
-from repro.sim import CrashPlan, LinkTimings
+from repro.sim import FaultPlan, LinkTimings
 from repro.sim.topology import f_source_links, source_links
 
 SEEDS = (1, 2)
@@ -38,7 +38,7 @@ def run_case(omega_name: str, n: int, loss: float, crash: bool,
         # complete within a few seconds), so the protocol must recover
         # from mid-flight quorum loss, not merely tolerate dead weight.
         victims = [pid for pid in range(n) if pid != source][:max(1, n // 2 - 1)]
-        CrashPlan.crash_at(*[(1.5 + 2.0 * i, pid)
+        FaultPlan.crashes_at(*[(1.5 + 2.0 * i, pid)
                              for i, pid in enumerate(victims)]).schedule(system)
     system.start_all()
     system.run_until(HORIZON)

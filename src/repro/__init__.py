@@ -56,8 +56,11 @@ from repro.harness import OmegaOutcome, OmegaScenario, render_table  # noqa: E40
 from repro.sim import (  # noqa: E402
     Cluster,
     CrashPlan,
+    FaultPlan,
     LinkTimings,
     Message,
+    ModelEnvelope,
+    Nemesis,
     Network,
     Process,
     Simulation,
@@ -86,6 +89,9 @@ __all__ = [
     "render_table",
     "Cluster",
     "CrashPlan",
+    "FaultPlan",
+    "ModelEnvelope",
+    "Nemesis",
     "LinkTimings",
     "Message",
     "Network",

@@ -14,6 +14,8 @@ Examples
     python -m repro consensus --n 5 --omega comm-efficient --crash 2:0
     python -m repro log --n 5 --commands 50 --crash-leader-at 20
     python -m repro sweep --n 5 --horizon 400
+    python -m repro soak --cases 50 --seed 7
+    python -m repro soak --minutes 10
 
 Every command prints human-readable tables (the same renderer the
 benchmarks use) and exits non-zero if the run violated the property it
@@ -42,7 +44,7 @@ from repro.core import (
 from repro.core.registry import algorithm_class
 from repro.harness import OmegaScenario, render_table
 from repro.harness.scenarios import SYSTEM_NAMES
-from repro.sim import Cluster, CrashPlan, LinkTimings
+from repro.sim import Cluster, FaultPlan, FaultPlanError, LinkTimings
 from repro.sim.topology import (
     f_source_links,
     multi_source_links,
@@ -91,9 +93,12 @@ def cmd_omega(args: argparse.Namespace) -> int:
         scenario = OmegaScenario(
             algorithm=args.algorithm, n=args.n, system=args.system,
             source=args.source, targets=_parse_targets(args.targets),
-            f=args.f, crashes=crashes, seed=args.seed,
+            f=args.f, crashes=crashes, faults=args.faults, seed=args.seed,
             horizon=args.horizon, timings=timings, config=config)
-        cluster = scenario.run().cluster
+        try:
+            cluster = scenario.run().cluster
+        except FaultPlanError as error:
+            raise SystemExit(f"bad --faults plan: {error}")
         relayed = False
 
     report = analyze_omega_run(cluster)
@@ -140,7 +145,7 @@ def _run_relayed(args: argparse.Namespace, timings: LinkTimings,
         args.n, lambda pid, sim, net: cls(pid, sim, net, config),
         links=links, seed=args.seed)
     if crashes:
-        CrashPlan.crash_at(*crashes).schedule(cluster)
+        FaultPlan.crashes_at(*crashes).schedule(cluster)
     cluster.start_all()
     cluster.run_until(args.horizon)
     return cluster
@@ -158,7 +163,7 @@ def cmd_consensus(args: argparse.Namespace) -> int:
         omega_name=args.omega, f=args.f, seed=args.seed)
     crashes = _parse_crashes(args.crash)
     if crashes:
-        CrashPlan.crash_at(*crashes).schedule(system)
+        FaultPlan.crashes_at(*crashes).schedule(system)
     system.start_all()
     system.run_until(args.horizon)
     report = check_single_decree(system)
@@ -252,6 +257,37 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_soak(args: argparse.Namespace) -> int:
+    from repro.harness.soak import campaign_digest, soak
+
+    if args.minutes is not None and args.case:
+        raise SystemExit("--case requires --cases mode (a fixed campaign)")
+    cases = None if args.minutes is not None else args.cases
+    results = soak(cases=cases, minutes=args.minutes, soak_seed=args.seed,
+                   stop_on_failure=args.stop_on_failure,
+                   only=tuple(args.case))
+    if args.case and not results:
+        raise SystemExit(f"--case indices {args.case} outside "
+                         f"--cases {args.cases}")
+    failures = []
+    for result in results:
+        mark = {"ok": "ok  ", "fail": "FAIL",
+                "model-violation": "OOM "}[result.status]
+        print(f"{mark} {result.case.describe()} -- {result.detail}")
+        if result.status == "fail":
+            failures.append(result)
+    digest = campaign_digest([result.case for result in results])
+    print(f"\n{len(results) - len(failures)}/{len(results)} campaigns ok "
+          f"(seed={args.seed})")
+    print(f"campaign digest: {digest}")
+    if failures:
+        print("\nrepro lines:")
+        for result in failures:
+            print(f"  python -m repro soak --seed {args.seed} "
+                  f"--case {result.case.index}   # {result.case.describe()}")
+    return 1 if failures else 0
+
+
 def cmd_qos(args: argparse.Namespace) -> int:
     from repro.core import measure_qos
 
@@ -331,6 +367,9 @@ def build_parser() -> argparse.ArgumentParser:
     omega.add_argument("--outage-growth", type=float, default=0.0)
     omega.add_argument("--crash", action="append", default=[],
                        metavar="TIME:PID")
+    omega.add_argument("--faults", default="", metavar="PLAN",
+                       help="nemesis FaultPlan repro string, e.g. "
+                            "'pause(t=20.0,pid=1,dur=5.0)'")
     omega.add_argument("--relay", action="store_true",
                        help="run the relayed (timely-path) variant")
     omega.set_defaults(handler=cmd_omega)
@@ -378,6 +417,21 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_cmd.add_argument("--keep-going", action="store_true",
                           help="do not stop at the first failure")
     fuzz_cmd.set_defaults(handler=cmd_fuzz)
+
+    soak_cmd = sub.add_parser(
+        "soak", help="long randomized nemesis campaigns over all "
+                     "algorithms and stacks")
+    soak_cmd.add_argument("--cases", type=int, default=50,
+                          help="number of campaigns (ignored with --minutes)")
+    soak_cmd.add_argument("--minutes", type=float, default=None,
+                          help="wall-clock budget instead of a fixed count")
+    soak_cmd.add_argument("--seed", type=int, default=0)
+    soak_cmd.add_argument("--case", action="append", type=int, default=[],
+                          metavar="INDEX",
+                          help="replay only this case index (repeatable)")
+    soak_cmd.add_argument("--stop-on-failure", action="store_true",
+                          help="stop at the first failing campaign")
+    soak_cmd.set_defaults(handler=cmd_soak)
 
     qos = sub.add_parser("qos", help="failure-detector QoS per algorithm")
     qos.add_argument("--n", type=int, default=6)

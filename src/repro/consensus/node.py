@@ -55,6 +55,16 @@ class ConsensusNode:
         self.omega.crash()
         self.agreement.crash()
 
+    def pause(self) -> None:
+        """Freeze both layers — a machine stall, not a link failure."""
+        self.omega.pause()
+        self.agreement.pause()
+
+    def resume(self) -> None:
+        """Unfreeze both layers."""
+        self.omega.resume()
+        self.agreement.resume()
+
     @property
     def crashed(self) -> bool:
         """Whether the node is down."""
@@ -197,9 +207,22 @@ class ConsensusSystem:
         """The node with this pid."""
         return self.nodes[pid]
 
+    @property
+    def networks(self) -> tuple[Network, Network]:
+        """Both networks (fault plans apply network faults to each)."""
+        return (self.fd_network, self.agreement_network)
+
     def crash(self, pid: int) -> None:
         """Crash one node (both layers)."""
         self.nodes[pid].crash()
+
+    def pause(self, pid: int) -> None:
+        """Freeze one node (both layers)."""
+        self.nodes[pid].pause()
+
+    def resume(self, pid: int) -> None:
+        """Unfreeze one node (both layers)."""
+        self.nodes[pid].resume()
 
     def up_pids(self) -> list[int]:
         """Pids of nodes still up."""

@@ -8,6 +8,14 @@ consensus builders) plus a rendered table.
 from repro.harness.fuzz import FuzzCase, FuzzResult, fuzz, run_case, sample_case
 from repro.harness.plot import render_bars, render_series, sparkline
 from repro.harness.scenarios import SYSTEM_NAMES, OmegaOutcome, OmegaScenario
+from repro.harness.soak import (
+    SoakCase,
+    SoakResult,
+    campaign_digest,
+    run_soak_case,
+    sample_soak_case,
+    soak,
+)
 from repro.harness.stats import Summary, percentile, summarize
 from repro.harness.tables import format_value, render_table
 
@@ -17,6 +25,12 @@ __all__ = [
     "fuzz",
     "run_case",
     "sample_case",
+    "SoakCase",
+    "SoakResult",
+    "campaign_digest",
+    "run_soak_case",
+    "sample_soak_case",
+    "soak",
     "SYSTEM_NAMES",
     "OmegaOutcome",
     "OmegaScenario",

@@ -2,8 +2,10 @@
 
 The unit and property tests probe chosen corners; the fuzzer samples the
 *whole* legal space: random system sizes, random (assumption-respecting)
-topologies, random crash plans that never kill the designated source and
-never exceed the fault bound, random loss rates and partitions — then
+topologies, random loss rates, and a random **nemesis fault plan** —
+crashes, pauses, healing partitions, link storms, flapping, duplication
+— sampled in-model by :func:`repro.sim.nemesis.sample_plan` (the fault
+bound is respected and the designated source is never killed).  It then
 runs a full Omega or consensus stack and checks the invariants that must
 hold in every in-model execution:
 
@@ -14,9 +16,11 @@ hold in every in-model execution:
   decide; replicated-log prefixes never diverge.
 
 Every sampled world is reproducible from ``(fuzz_seed, case index)`` and
-carries a human-readable description, so a failing case is a one-line
-repro.  ``python -m repro fuzz --cases N`` runs it from the CLI; the
-test suite runs a small budget on every commit.
+carries a human-readable description embedding the fault plan's repro
+string, so a failing case is a one-line repro.  ``python -m repro fuzz
+--cases N`` runs it from the CLI; the test suite runs a small budget on
+every commit.  For long randomized campaigns over *all* algorithms and
+stacks, see the soak harness (:mod:`repro.harness.soak`).
 """
 
 from __future__ import annotations
@@ -26,10 +30,9 @@ from dataclasses import dataclass
 
 from repro.consensus import ConsensusSystem, LogWorkload, check_log, \
     check_single_decree
-from repro.core import analyze_omega_run
 from repro.core.config import OmegaConfig
 from repro.harness.scenarios import OmegaScenario
-from repro.sim.faults import CrashPlan
+from repro.sim.nemesis import FaultPlan, ModelEnvelope, sample_plan
 from repro.sim.topology import LinkTimings, multi_source_links
 
 __all__ = ["FuzzCase", "FuzzResult", "sample_case", "run_case", "fuzz"]
@@ -48,20 +51,25 @@ class FuzzCase:
     horizon: float
     fair_loss: float
     gst: float
-    crashes: tuple[tuple[float, int], ...]
-    partition: tuple[float, float, tuple[int, ...]] | None
+    plan: str                     # FaultPlan repro string
+
+    def fault_plan(self) -> FaultPlan:
+        """The case's nemesis plan, parsed from its repro string."""
+        return FaultPlan.from_repro(self.plan)
+
+    def envelope(self) -> ModelEnvelope:
+        """The model envelope this case was sampled inside."""
+        return ModelEnvelope(n=self.n, source=self.source,
+                             f=(self.n - 1) // 2, gst=self.gst,
+                             horizon=self.horizon)
 
     def describe(self) -> str:
         """One-line human-readable repro description of this world."""
         parts = [f"#{self.index} {self.kind}/{self.algorithm} n={self.n}",
                  f"source={self.source} seed={self.seed}",
                  f"loss={self.fair_loss:.2f} gst={self.gst:.1f}"]
-        if self.crashes:
-            parts.append("crashes=" + ",".join(
-                f"{pid}@{time:.1f}" for time, pid in self.crashes))
-        if self.partition:
-            start, end, group = self.partition
-            parts.append(f"partition={set(group)}@{start:.0f}-{end:.0f}")
+        if self.plan:
+            parts.append(f"plan=[{self.plan}]")
         return " ".join(parts)
 
 
@@ -77,11 +85,11 @@ class FuzzResult:
 def sample_case(rng: random.Random, index: int) -> FuzzCase:
     """Draw one legal world.
 
-    Constraints keeping the case *in-model* (so a failure is a bug, not
-    an out-of-assumptions artifact): the designated ◇source never
-    crashes; crash counts stay below a majority; partitions always heal
-    well before the horizon and never isolate the source from a majority
-    forever.
+    The fault plan comes from the nemesis sampler, whose constraints
+    keep the case *in-model* (so a failure is a bug, not an
+    out-of-assumptions artifact): the designated ◇source never crashes,
+    crash counts stay below a majority, and every disturbance heals with
+    half the horizon left for stabilization.
     """
     kind = rng.choice(["omega", "omega", "single-decree", "log"])
     algorithm = rng.choice(["all-timely", "source", "comm-efficient"]) \
@@ -93,27 +101,13 @@ def sample_case(rng: random.Random, index: int) -> FuzzCase:
     gst = rng.uniform(0.0, 8.0)
     horizon = 400.0
 
-    max_crashes = (n - 1) // 2
-    candidates = [pid for pid in range(n) if pid != source]
-    rng.shuffle(candidates)
-    count = rng.randint(0, min(max_crashes, len(candidates)))
-    crashes = tuple(sorted(
-        (round(rng.uniform(1.0, horizon / 3), 2), pid)
-        for pid in candidates[:count]))
-
-    partition = None
-    if kind != "omega" and n >= 4 and rng.random() < 0.5:
-        # Isolate one non-source node for a while, then heal.
-        victim = candidates[-1]
-        start = round(rng.uniform(5.0, 40.0), 1)
-        end = round(start + rng.uniform(10.0, 40.0), 1)
-        group = tuple(pid for pid in range(n) if pid != victim)
-        partition = (start, end, group)
+    envelope = ModelEnvelope(n=n, source=source, f=(n - 1) // 2,
+                             gst=gst, horizon=horizon)
+    plan = sample_plan(rng, envelope)
 
     return FuzzCase(index=index, kind=kind, algorithm=algorithm, n=n,
                     source=source, seed=seed, horizon=horizon,
-                    fair_loss=fair_loss, gst=gst, crashes=crashes,
-                    partition=partition)
+                    fair_loss=fair_loss, gst=gst, plan=plan.to_repro())
 
 
 def run_case(case: FuzzCase) -> FuzzResult:
@@ -130,14 +124,14 @@ def _run_omega(case: FuzzCase, timings: LinkTimings) -> FuzzResult:
     system_name = "all-et" if case.algorithm == "all-timely" else "source"
     scenario = OmegaScenario(
         algorithm=case.algorithm, n=case.n, system=system_name,
-        source=case.source, crashes=case.crashes, seed=case.seed,
+        source=case.source, faults=case.plan, seed=case.seed,
         horizon=case.horizon, timings=timings, config=OmegaConfig())
     outcome = scenario.run()
     report = outcome.report
     if not report.omega_holds:
         return FuzzResult(case, False,
                           f"omega violated: outputs={report.final_outputs}")
-    crashed = set(pid for _, pid in case.crashes)
+    crashed = case.fault_plan().crashed_pids
     if report.final_leader in crashed:
         return FuzzResult(case, False,
                           f"crashed leader {report.final_leader} trusted")
@@ -146,24 +140,13 @@ def _run_omega(case: FuzzCase, timings: LinkTimings) -> FuzzResult:
                       f"stab={report.stabilization_time:.1f}s")
 
 
-def _partitioned_networks(case: FuzzCase, system: ConsensusSystem) -> None:
-    if case.partition is None:
-        return
-    start, end, group = case.partition
-    rest = tuple(pid for pid in range(case.n) if pid not in group)
-    for network in (system.agreement_network, system.fd_network):
-        network.add_partition(start, end, [set(group), set(rest)])
-
-
 def _run_single_decree(case: FuzzCase, timings: LinkTimings) -> FuzzResult:
     system = ConsensusSystem.build_single_decree(
         case.n,
         lambda: multi_source_links(case.n, (case.source,), timings),
         proposals=[f"v{pid}" for pid in range(case.n)],
         omega_name=case.algorithm, seed=case.seed)
-    _partitioned_networks(case, system)
-    if case.crashes:
-        CrashPlan.crash_at(*case.crashes).schedule(system)
+    case.fault_plan().schedule(system)
     system.start_all()
     system.run_until(case.horizon)
     report = check_single_decree(system)
@@ -183,10 +166,8 @@ def _run_log(case: FuzzCase, timings: LinkTimings) -> FuzzResult:
         case.n,
         lambda: multi_source_links(case.n, (case.source,), timings),
         omega_name=case.algorithm, seed=case.seed)
-    _partitioned_networks(case, system)
     workload = LogWorkload(system, count=15, period=0.6, start=3.0)
-    if case.crashes:
-        CrashPlan.crash_at(*case.crashes).schedule(system)
+    case.fault_plan().schedule(system)
     system.start_all()
     system.run_until(case.horizon)
     report = check_log(system, workload.submitted)

@@ -39,8 +39,8 @@ from repro.core.checker import (
 from repro.core.config import OmegaConfig
 from repro.core.registry import make_factory
 from repro.sim.cluster import Cluster
-from repro.sim.faults import CrashPlan
 from repro.sim.links import LinkPolicy
+from repro.sim.nemesis import FaultPlan
 from repro.sim.topology import (
     LinkTimings,
     all_eventually_timely_links,
@@ -91,6 +91,11 @@ class OmegaScenario:
     the ``system`` names.  ``targets`` (and the implied ``f``, defaulting
     to ``len(targets)``) only matter for ``f-source``; ``sources`` only
     for ``multi-source``.
+
+    ``crashes`` keeps the historical ``(time, pid)`` shorthand; the
+    general fault language is the ``faults`` field — a
+    :class:`~repro.sim.nemesis.FaultPlan` repro string (pauses, healing
+    partitions, link storms...), scheduled alongside the crashes.
     """
 
     algorithm: str
@@ -101,6 +106,7 @@ class OmegaScenario:
     targets: tuple[int, ...] = ()
     f: int | None = None
     crashes: tuple[tuple[float, int], ...] = ()
+    faults: str = ""
     seed: int = 0
     horizon: float = 120.0
     ce_window: float = 20.0
@@ -156,6 +162,14 @@ class OmegaScenario:
     # Execution
     # ------------------------------------------------------------------
 
+    def fault_plan(self) -> FaultPlan:
+        """The combined fault plan: ``crashes`` shorthand plus ``faults``."""
+        plan = FaultPlan.crashes_at(*self.crashes)
+        if self.faults:
+            plan = FaultPlan(plan.events
+                             + FaultPlan.from_repro(self.faults).events)
+        return plan
+
     def build(self) -> Cluster:
         """Assemble the cluster without running it (tests use this)."""
         factory = make_factory(self.algorithm, self.config, n=self.n,
@@ -163,8 +177,9 @@ class OmegaScenario:
                                quorum_override=self.quorum_override)
         cluster = Cluster.build(self.n, factory, links=self.link_map(),
                                 seed=self.seed, trace=self.trace)
-        if self.crashes:
-            CrashPlan.crash_at(*self.crashes).schedule(cluster)
+        plan = self.fault_plan()
+        if plan:
+            plan.schedule(cluster)
         return cluster
 
     def run(self) -> OmegaOutcome:

@@ -1,0 +1,291 @@
+"""Randomized soak campaigns: every algorithm, every stack, under nemesis.
+
+The fuzzer (:mod:`repro.harness.fuzz`) samples a handful of worlds per
+commit; the soak harness is its long-running sibling.  Each *campaign*
+pairs one registered Omega algorithm (or one of the two consensus
+stacks) with an in-model system topology and a nemesis
+:class:`~repro.sim.nemesis.FaultPlan` sampled inside the campaign's
+:class:`~repro.sim.nemesis.ModelEnvelope`, runs it to the horizon, and
+checks the existing invariants (:func:`analyze_omega_run`,
+:func:`check_single_decree`, :func:`check_log`).
+
+Three judgments are possible, in order:
+
+``model-violation``
+    The plan breaks the assumptions the algorithm is proved under
+    (source crashed, too many crashes, disturbance never heals).  The
+    invariants are *not* consulted — such a run proves nothing either
+    way.  Sampled campaigns are always in-model; this status exists for
+    hand-built plans replayed through :func:`run_soak_case`.
+``fail``
+    In-model, but an invariant broke (or the run raised) — a real bug.
+    The case's :meth:`~SoakCase.describe` line is a complete repro.
+``ok``
+    In-model and every invariant held.
+
+Every campaign is reconstructible from ``(soak seed, case index)``
+alone — :func:`sample_soak_case` derives a private RNG stream from the
+pair, so ``python -m repro soak --seed 7 --case 12`` replays case 12 of
+campaign seed 7 exactly, and two runs of the same campaign produce
+byte-identical digests (:func:`campaign_digest`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import time
+from dataclasses import dataclass
+
+from repro.consensus import ConsensusSystem, LogWorkload, check_log, \
+    check_single_decree
+from repro.core.checker import analyze_omega_run
+from repro.core.config import OmegaConfig
+from repro.core.registry import OMEGA_ALGORITHMS
+from repro.harness.scenarios import OmegaScenario
+from repro.sim.nemesis import FaultPlan, ModelEnvelope, model_violations, \
+    sample_plan
+from repro.sim.topology import LinkTimings, multi_source_links
+
+__all__ = [
+    "SoakCase",
+    "SoakResult",
+    "campaign_digest",
+    "run_soak_case",
+    "sample_soak_case",
+    "soak",
+]
+
+_HORIZON = 300.0
+
+# Consensus stacks drive their Omega layer by name; both ship with the
+# majority-quorum heartbeat detectors (f-source needs explicit targets
+# and is exercised through the dedicated omega campaigns instead).
+_CONSENSUS_OMEGAS = ("source", "comm-efficient")
+
+
+@dataclass(frozen=True)
+class SoakCase:
+    """One campaign: algorithm/stack + topology + nemesis plan, as data."""
+
+    index: int
+    kind: str                  # "omega" | "single-decree" | "log"
+    algorithm: str
+    system: str                # scenario system name, or "consensus"
+    n: int
+    source: int
+    targets: tuple[int, ...]   # f-source timely targets, else ()
+    f: int                     # crash budget of the envelope
+    seed: int
+    gst: float
+    fair_loss: float
+    horizon: float
+    plan: str                  # FaultPlan repro string
+
+    def fault_plan(self) -> FaultPlan:
+        """The campaign's nemesis plan, parsed from its repro string."""
+        return FaultPlan.from_repro(self.plan)
+
+    def envelope(self) -> ModelEnvelope:
+        """The model envelope this campaign is judged against."""
+        return ModelEnvelope(n=self.n, source=self.source, f=self.f,
+                             gst=self.gst, horizon=self.horizon)
+
+    def describe(self) -> str:
+        """One-line repro: everything needed to replay this campaign."""
+        parts = [f"#{self.index} {self.kind}/{self.algorithm}"
+                 f"@{self.system} n={self.n} source={self.source}"]
+        if self.targets:
+            parts.append("targets=" + ",".join(map(str, self.targets)))
+        parts.append(f"f={self.f} seed={self.seed} gst={self.gst:g} "
+                     f"loss={self.fair_loss:g}")
+        if self.plan:
+            parts.append(f"plan=[{self.plan}]")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class SoakResult:
+    """Outcome of one campaign."""
+
+    case: SoakCase
+    status: str                # "ok" | "fail" | "model-violation"
+    detail: str
+
+    @property
+    def ok(self) -> bool:
+        """True unless an in-model invariant broke."""
+        return self.status != "fail"
+
+
+def sample_soak_case(soak_seed: int, index: int) -> SoakCase:
+    """Draw campaign ``index`` of the soak run seeded ``soak_seed``.
+
+    Deterministic from the pair alone: the case RNG is a private stream
+    named by ``(soak_seed, index)``, so any case can be replayed without
+    re-sampling its predecessors.
+    """
+    rng = random.Random(f"soak/{soak_seed}/{index}")
+    kind = rng.choice(["omega", "omega", "omega", "single-decree", "log"])
+    targets: tuple[int, ...] = ()
+    if kind == "omega":
+        algorithm = rng.choice(sorted(OMEGA_ALGORITHMS))
+        if algorithm == "all-timely":
+            system = rng.choice(["all-timely", "all-et"])
+            n = rng.randint(3, 7)
+            source = rng.randrange(n)
+            f = (n - 1) // 2
+        elif algorithm == "f-source":
+            system = "f-source"
+            n = rng.randint(5, 7)
+            source = rng.randrange(n)
+            others = [pid for pid in range(n) if pid != source]
+            targets = tuple(sorted(rng.sample(others, 2)))
+            f = 2
+        else:
+            system = rng.choice(["source", "multi-source"])
+            n = rng.randint(3, 7)
+            source = rng.randrange(n)
+            f = (n - 1) // 2
+    else:
+        algorithm = rng.choice(_CONSENSUS_OMEGAS)
+        system = "consensus"
+        n = rng.randint(3, 7)
+        source = rng.randrange(n)
+        f = (n - 1) // 2
+
+    seed = rng.randrange(1_000_000)
+    gst = round(rng.uniform(0.0, 8.0), 2)
+    fair_loss = round(rng.uniform(0.0, 0.4), 2)
+    envelope = ModelEnvelope(n=n, source=source, f=f, gst=gst,
+                             horizon=_HORIZON)
+    plan = sample_plan(rng, envelope)
+    return SoakCase(index=index, kind=kind, algorithm=algorithm,
+                    system=system, n=n, source=source, targets=targets,
+                    f=f, seed=seed, gst=gst, fair_loss=fair_loss,
+                    horizon=_HORIZON, plan=plan.to_repro())
+
+
+def run_soak_case(case: SoakCase) -> SoakResult:
+    """Judge one campaign: model check first, then run and check invariants.
+
+    A plan outside the campaign's envelope short-circuits to
+    ``model-violation`` — running it would prove nothing, since every
+    invariant is conditional on the model's assumptions.
+    """
+    violations = model_violations(case.fault_plan(), case.envelope())
+    if violations:
+        return SoakResult(case, "model-violation", "; ".join(violations))
+    try:
+        ok, detail = _execute(case)
+    except Exception as exc:  # soak keeps going; the case line is the repro
+        return SoakResult(case, "fail", f"raised {exc!r}")
+    return SoakResult(case, "ok" if ok else "fail", detail)
+
+
+def _execute(case: SoakCase) -> tuple[bool, str]:
+    timings = LinkTimings(gst=case.gst, fair_loss=case.fair_loss)
+    if case.kind == "omega":
+        return _execute_omega(case, timings)
+    if case.kind == "single-decree":
+        return _execute_single_decree(case, timings)
+    return _execute_log(case, timings)
+
+
+def _execute_omega(case: SoakCase, timings: LinkTimings) -> tuple[bool, str]:
+    scenario = OmegaScenario(
+        algorithm=case.algorithm, n=case.n, system=case.system,
+        source=case.source, targets=case.targets,
+        f=case.f if case.algorithm == "f-source" else None,
+        faults=case.plan, seed=case.seed, horizon=case.horizon,
+        timings=timings, config=OmegaConfig())
+    report = scenario.run().report
+    if not report.omega_holds:
+        return False, f"omega violated: outputs={report.final_outputs}"
+    if report.final_leader in case.fault_plan().crashed_pids:
+        return False, f"crashed leader {report.final_leader} trusted"
+    return True, (f"leader={report.final_leader} "
+                  f"stab={report.stabilization_time:.1f}s")
+
+
+def _execute_single_decree(case: SoakCase,
+                           timings: LinkTimings) -> tuple[bool, str]:
+    system = ConsensusSystem.build_single_decree(
+        case.n,
+        lambda: multi_source_links(case.n, (case.source,), timings),
+        proposals=[f"v{pid}" for pid in range(case.n)],
+        omega_name=case.algorithm, seed=case.seed)
+    case.fault_plan().schedule(system)
+    system.start_all()
+    system.run_until(case.horizon)
+    report = check_single_decree(system)
+    if not (report.agreement and report.validity):
+        return False, "safety violated"
+    if not report.all_correct_decided:
+        return False, (f"liveness: decided={sorted(report.decided)} "
+                       f"correct={report.correct}")
+    return True, (f"decided {next(iter(report.decided.values()))!r} "
+                  f"by {report.latest_decision:.1f}s")
+
+
+def _execute_log(case: SoakCase, timings: LinkTimings) -> tuple[bool, str]:
+    system = ConsensusSystem.build_replicated_log(
+        case.n,
+        lambda: multi_source_links(case.n, (case.source,), timings),
+        omega_name=case.algorithm, seed=case.seed)
+    workload = LogWorkload(system, count=12, period=0.6, start=3.0)
+    case.fault_plan().schedule(system)
+    system.start_all()
+    system.run_until(case.horizon)
+    report = check_log(system, workload.submitted)
+    if not (report.agreement and report.validity):
+        return False, f"safety violated: {report.divergences}"
+    if not workload.done():
+        return False, "liveness: commands missing"
+    return True, f"committed {report.max_committed} entries"
+
+
+def campaign_digest(cases: list[SoakCase]) -> str:
+    """Short stable hash over the campaign's repro lines.
+
+    Two soak runs with the same ``(seed, case count)`` must print the
+    same digest; a mismatch means determinism broke somewhere.
+    """
+    payload = "\n".join(case.describe() for case in cases)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def soak(cases: int | None = None, minutes: float | None = None,
+         soak_seed: int = 0, stop_on_failure: bool = False,
+         only: tuple[int, ...] = ()) -> list[SoakResult]:
+    """Run a soak campaign; returns one result per executed case.
+
+    Exactly one of ``cases`` (fixed count) or ``minutes`` (wall-clock
+    budget, sampling case after case until it runs out) must be given.
+    ``only`` restricts execution to the named case indices — the replay
+    path behind ``python -m repro soak --case N``.
+    """
+    if (cases is None) == (minutes is None):
+        raise ValueError("pass exactly one of cases= or minutes=")
+    if cases is not None and cases < 1:
+        raise ValueError("cases must be positive")
+
+    results = []
+    deadline = None if minutes is None else time.monotonic() + minutes * 60.0
+    index = 0
+    while True:
+        if cases is not None and index >= cases:
+            break
+        if deadline is not None and time.monotonic() >= deadline:
+            break
+        if only and index > max(only):
+            break
+        case = sample_soak_case(soak_seed, index)
+        index += 1
+        if only and case.index not in only:
+            continue
+        result = run_soak_case(case)
+        results.append(result)
+        if not result.ok and stop_on_failure:
+            break
+    return results

@@ -11,11 +11,29 @@ from repro.sim.engine import Simulation, SimulationError
 from repro.sim.faults import CrashEvent, CrashPlan, random_crash_plan
 from repro.sim.links import (
     DeadLink,
+    DegradedWindow,
     EventuallyTimelyLink,
     FairLossyLink,
     LinkPolicy,
     LossyAsyncLink,
+    PerturbedLink,
     TimelyLink,
+)
+from repro.sim.nemesis import (
+    CrashFault,
+    DegradeFault,
+    DuplicateFault,
+    FaultEvent,
+    FaultPlan,
+    FaultPlanError,
+    FlapFault,
+    ModelEnvelope,
+    Nemesis,
+    PartitionFault,
+    PauseFault,
+    model_violations,
+    parse_event,
+    sample_plan,
 )
 from repro.sim.messages import Message
 from repro.sim.metrics import MetricsCollector, WindowStats
@@ -54,6 +72,22 @@ __all__ = [
     "CrashEvent",
     "CrashPlan",
     "random_crash_plan",
+    "CrashFault",
+    "DegradeFault",
+    "DuplicateFault",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultPlanError",
+    "FlapFault",
+    "ModelEnvelope",
+    "Nemesis",
+    "PartitionFault",
+    "PauseFault",
+    "model_violations",
+    "parse_event",
+    "sample_plan",
+    "DegradedWindow",
+    "PerturbedLink",
     "DeadLink",
     "EventuallyTimelyLink",
     "FairLossyLink",

@@ -96,6 +96,11 @@ class Cluster:
         return sorted(self.processes)
 
     @property
+    def networks(self) -> tuple[Network, ...]:
+        """All networks of this system (one; fault plans iterate this)."""
+        return (self.network,)
+
+    @property
     def metrics(self) -> MetricsCollector:
         """The network's metrics collector."""
         return self.network.metrics
@@ -151,6 +156,14 @@ class Cluster:
         """Crash several processes immediately."""
         for pid in pids:
             self.crash(pid)
+
+    def pause(self, pid: int) -> None:
+        """Freeze one process (see :meth:`Process.pause`)."""
+        self.processes[pid].pause()
+
+    def resume(self, pid: int) -> None:
+        """Unfreeze one process and replay what it missed."""
+        self.processes[pid].resume()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Cluster(n={self.n}, t={self.sim.now:.3f}, "

@@ -4,6 +4,13 @@ The model allows up to ``f`` crashes per run.  A :class:`CrashPlan` is an
 explicit script of ``(time, pid)`` crash events; helpers build common
 plans (crash the eventual leader, crash a random subset).  Plans are data
 — they can be printed, stored alongside experiment results, and replayed.
+
+:class:`CrashPlan` is the original, crash-only fault script and remains
+supported; the generalized fault subsystem — pauses, partitions, link
+storms, flapping, duplication, plus random in-model campaign generation
+— lives in :mod:`repro.sim.nemesis`, whose :class:`~repro.sim.nemesis.FaultPlan`
+subsumes this class (``FaultPlan.crashes_at`` is a drop-in for
+``CrashPlan.crash_at``).
 """
 
 from __future__ import annotations
@@ -48,7 +55,24 @@ class CrashPlan:
         return {event.pid for event in self.events}
 
     def schedule(self, cluster: "Cluster") -> None:
-        """Install the crashes as simulation events on the cluster."""
+        """Install the crashes as simulation events on the cluster.
+
+        Validates the plan against the cluster first: every pid must be
+        one the cluster owns, and no crash may lie in the past at
+        install time (the kernel would reject it later anyway, but with
+        a far less helpful message).
+        """
+        known = set(cluster.pids)
+        now = cluster.sim.now
+        for event in self.events:
+            if event.pid not in known:
+                raise ValueError(
+                    f"crash scheduled for unknown pid {event.pid}; "
+                    f"cluster owns {sorted(known)}")
+            if event.time < now:
+                raise ValueError(
+                    f"crash of pid {event.pid} at t={event.time:g} is in "
+                    f"the past (now={now:g})")
         for event in self.events:
             pid = event.pid
             cluster.sim.call_at(event.time, lambda pid=pid: cluster.crash(pid))

@@ -1,0 +1,752 @@
+"""Nemesis: composable fault plans and in-model campaign generation.
+
+This module generalizes the scripted crash injection of
+:mod:`repro.sim.faults` into a unified fault subsystem.  A
+:class:`FaultPlan` is an ordered script of typed fault events —
+
+:class:`CrashFault`
+    Crash-stop a process at a time (subsumes ``CrashPlan``).
+
+:class:`PauseFault`
+    Freeze a process for a duration: it stops sending and dispatching
+    timers, buffers deliveries, and resumes later — provoking false
+    suspicions the detectors must recover from.
+
+:class:`PartitionFault`
+    Split the network into groups for a window, then heal (subsumes the
+    ad-hoc partition lists on :class:`~repro.sim.network.Network`).
+
+:class:`DegradeFault`
+    A loss/delay storm on chosen ordered links for a window.
+
+:class:`FlapFault`
+    Links that cycle up/down during a window.
+
+:class:`DuplicateFault`
+    Probabilistic message duplication on chosen links for a window.
+
+Every event is data-first: a frozen dataclass that prints, serializes to
+a compact *repro string* (``crash(t=20.0,pid=3)``), parses back with
+:func:`parse_event`, and is therefore replayable.  Plans schedule onto
+anything with the cluster surface (``sim``, ``pids``, ``crash``,
+``pause``/``resume``, ``networks``) — both
+:class:`~repro.sim.cluster.Cluster` and
+:class:`~repro.consensus.node.ConsensusSystem` qualify, and network
+faults apply to *every* network of the target (the consensus stack runs
+two).
+
+On top, :class:`Nemesis` samples random campaigns that stay inside the
+paper's model for a given :class:`ModelEnvelope` (never more than ``f``
+crashes, never the designated ◇source, every disturbance healing with
+enough calm left before the horizon), and :func:`model_violations`
+judges arbitrary plans against an envelope so out-of-model campaigns
+are reported as such instead of masquerading as invariant failures.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar, Iterable, Sequence
+
+from repro.sim.links import DegradedWindow
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.network import Network
+
+__all__ = [
+    "FaultEvent",
+    "CrashFault",
+    "PauseFault",
+    "PartitionFault",
+    "DegradeFault",
+    "FlapFault",
+    "DuplicateFault",
+    "FaultPlan",
+    "FaultPlanError",
+    "ModelEnvelope",
+    "model_violations",
+    "Nemesis",
+    "sample_plan",
+    "parse_event",
+]
+
+
+class FaultPlanError(ValueError):
+    """Raised on malformed fault events, plans, or repro strings."""
+
+
+# ----------------------------------------------------------------------
+# Formatting helpers (shared by every event's repro string)
+# ----------------------------------------------------------------------
+
+def _fmt(value: float) -> str:
+    """Round-tripping float rendering (``repr`` is exact)."""
+    return repr(float(value))
+
+
+def _fmt_pairs(pairs: Sequence[tuple[int, int]]) -> str:
+    return ";".join(f"{src}>{dst}" for src, dst in pairs)
+
+
+def _parse_pairs(text: str) -> tuple[tuple[int, int], ...]:
+    pairs = []
+    for part in text.split(";"):
+        src_text, sep, dst_text = part.partition(">")
+        if not sep:
+            raise FaultPlanError(f"bad link pair {part!r}; expected SRC>DST")
+        pairs.append((int(src_text), int(dst_text)))
+    return tuple(pairs)
+
+
+def _fmt_groups(groups: Sequence[Sequence[int]]) -> str:
+    return "|".join(".".join(str(pid) for pid in sorted(group))
+                    for group in groups)
+
+
+def _parse_groups(text: str) -> tuple[tuple[int, ...], ...]:
+    groups = []
+    for part in text.split("|"):
+        if not part:
+            raise FaultPlanError(f"empty partition group in {text!r}")
+        groups.append(tuple(int(pid) for pid in part.split(".")))
+    return tuple(groups)
+
+
+def _networks(target: object) -> "tuple[Network, ...]":
+    networks = getattr(target, "networks", None)
+    if networks is None:
+        raise FaultPlanError(
+            f"{type(target).__name__} exposes no networks for link faults")
+    return tuple(networks)
+
+
+def _normalized_pairs(pairs: Iterable[tuple[int, int]]) -> tuple[tuple[int, int], ...]:
+    normalized = tuple((int(src), int(dst)) for src, dst in pairs)
+    if not normalized:
+        raise FaultPlanError("link fault needs at least one ordered pair")
+    for src, dst in normalized:
+        if src == dst:
+            raise FaultPlanError(f"no self-links in the model ({src}>{dst})")
+    return normalized
+
+
+# ----------------------------------------------------------------------
+# Fault events
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base class: one typed, schedulable, serializable fault."""
+
+    kind: ClassVar[str] = "fault"
+
+    def window(self) -> tuple[float, float]:
+        """The ``[start, end)`` interval this fault disturbs."""
+        raise NotImplementedError
+
+    def pids(self) -> frozenset[int]:
+        """Processes this fault touches directly (empty for link faults)."""
+        return frozenset()
+
+    def link_pairs(self) -> tuple[tuple[int, int], ...]:
+        """Ordered link pairs this fault touches (empty for process faults)."""
+        return ()
+
+    def to_repro(self) -> str:
+        """Compact one-token repro string; inverse of :func:`parse_event`."""
+        raise NotImplementedError
+
+    def schedule(self, target: object) -> None:
+        """Install this fault on a cluster-like target."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.to_repro()
+
+
+@dataclass(frozen=True)
+class CrashFault(FaultEvent):
+    """Crash-stop ``pid`` at ``time``."""
+
+    time: float
+    pid: int
+
+    kind: ClassVar[str] = "crash"
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise FaultPlanError(f"crash time must be >= 0, got {self.time}")
+
+    def window(self) -> tuple[float, float]:
+        return (self.time, self.time)
+
+    def pids(self) -> frozenset[int]:
+        return frozenset((self.pid,))
+
+    def to_repro(self) -> str:
+        return f"crash(t={_fmt(self.time)},pid={self.pid})"
+
+    def schedule(self, target: object) -> None:
+        target.sim.call_at(self.time, lambda: target.crash(self.pid))
+
+
+@dataclass(frozen=True)
+class PauseFault(FaultEvent):
+    """Freeze ``pid`` during ``[time, time + duration)``."""
+
+    time: float
+    pid: int
+    duration: float
+
+    kind: ClassVar[str] = "pause"
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise FaultPlanError(f"pause time must be >= 0, got {self.time}")
+        if self.duration <= 0:
+            raise FaultPlanError("pause duration must be positive")
+
+    def window(self) -> tuple[float, float]:
+        return (self.time, self.time + self.duration)
+
+    def pids(self) -> frozenset[int]:
+        return frozenset((self.pid,))
+
+    def to_repro(self) -> str:
+        return (f"pause(t={_fmt(self.time)},pid={self.pid},"
+                f"dur={_fmt(self.duration)})")
+
+    def schedule(self, target: object) -> None:
+        target.sim.call_at(self.time, lambda: target.pause(self.pid))
+        target.sim.call_at(self.time + self.duration,
+                           lambda: target.resume(self.pid))
+
+
+@dataclass(frozen=True)
+class PartitionFault(FaultEvent):
+    """Split the network into ``groups`` during ``[start, end)``, then heal."""
+
+    start: float
+    end: float
+    groups: tuple[tuple[int, ...], ...]
+
+    kind: ClassVar[str] = "partition"
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise FaultPlanError("partition must have positive duration")
+        if not self.groups:
+            raise FaultPlanError("partition needs at least one group")
+        seen: set[int] = set()
+        for group in self.groups:
+            if not group:
+                raise FaultPlanError("partition groups must be non-empty")
+            overlap = seen & set(group)
+            if overlap:
+                raise FaultPlanError(
+                    f"partition groups must be pairwise disjoint; "
+                    f"{sorted(overlap)} repeat")
+            seen |= set(group)
+
+    def window(self) -> tuple[float, float]:
+        return (self.start, self.end)
+
+    def pids(self) -> frozenset[int]:
+        return frozenset(pid for group in self.groups for pid in group)
+
+    def to_repro(self) -> str:
+        return (f"partition(start={_fmt(self.start)},end={_fmt(self.end)},"
+                f"groups={_fmt_groups(self.groups)})")
+
+    def schedule(self, target: object) -> None:
+        for network in _networks(target):
+            network.add_partition(self.start, self.end,
+                                  [set(group) for group in self.groups])
+
+
+@dataclass(frozen=True)
+class _LinkWindowFault(FaultEvent):
+    """Shared shape of the window-scoped link faults."""
+
+    start: float
+    end: float
+    pairs: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise FaultPlanError(f"{self.kind} must have positive duration")
+        object.__setattr__(self, "pairs", _normalized_pairs(self.pairs))
+
+    def window(self) -> tuple[float, float]:
+        return (self.start, self.end)
+
+    def link_pairs(self) -> tuple[tuple[int, int], ...]:
+        return self.pairs
+
+    def _window_object(self) -> DegradedWindow:
+        raise NotImplementedError
+
+    def schedule(self, target: object) -> None:
+        window = self._window_object()
+        for network in _networks(target):
+            for src, dst in self.pairs:
+                network.perturb_link(src, dst, window)
+
+
+@dataclass(frozen=True)
+class DegradeFault(_LinkWindowFault):
+    """A loss/delay storm: extra ``loss`` and up to ``delay`` extra latency."""
+
+    loss: float = 0.0
+    delay: float = 0.0
+
+    kind: ClassVar[str] = "degrade"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.loss <= 1.0:
+            raise FaultPlanError(f"loss must be a probability, got {self.loss}")
+        if self.delay < 0:
+            raise FaultPlanError("delay must be >= 0")
+        if self.loss == 0.0 and self.delay == 0.0:
+            raise FaultPlanError("degrade must add loss or delay")
+
+    def to_repro(self) -> str:
+        return (f"degrade(start={_fmt(self.start)},end={_fmt(self.end)},"
+                f"pairs={_fmt_pairs(self.pairs)},loss={_fmt(self.loss)},"
+                f"delay={_fmt(self.delay)})")
+
+    def _window_object(self) -> DegradedWindow:
+        return DegradedWindow(self.start, self.end, loss=self.loss,
+                              extra_delay=self.delay)
+
+
+@dataclass(frozen=True)
+class FlapFault(_LinkWindowFault):
+    """Links cycling up/down: up for ``up`` of each ``period``."""
+
+    period: float = 2.0
+    up: float = 0.5
+
+    kind: ClassVar[str] = "flap"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.period <= 0:
+            raise FaultPlanError("flap period must be positive")
+        if not 0.0 < self.up < 1.0:
+            raise FaultPlanError("flap up fraction must lie in (0, 1)")
+
+    def to_repro(self) -> str:
+        return (f"flap(start={_fmt(self.start)},end={_fmt(self.end)},"
+                f"pairs={_fmt_pairs(self.pairs)},period={_fmt(self.period)},"
+                f"up={_fmt(self.up)})")
+
+    def _window_object(self) -> DegradedWindow:
+        return DegradedWindow(self.start, self.end, flap_period=self.period,
+                              flap_up=self.up)
+
+
+@dataclass(frozen=True)
+class DuplicateFault(_LinkWindowFault):
+    """Duplicate delivered messages with probability ``p``."""
+
+    p: float = 0.2
+    lag: float = 0.05
+
+    kind: ClassVar[str] = "dup"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.p <= 1.0:
+            raise FaultPlanError(f"p must lie in (0, 1], got {self.p}")
+        if self.lag < 0:
+            raise FaultPlanError("lag must be >= 0")
+
+    def to_repro(self) -> str:
+        return (f"dup(start={_fmt(self.start)},end={_fmt(self.end)},"
+                f"pairs={_fmt_pairs(self.pairs)},p={_fmt(self.p)},"
+                f"lag={_fmt(self.lag)})")
+
+    def _window_object(self) -> DegradedWindow:
+        return DegradedWindow(self.start, self.end, duplicate=self.p,
+                              duplicate_lag=self.lag)
+
+
+# ----------------------------------------------------------------------
+# Repro-string codec
+# ----------------------------------------------------------------------
+
+_EVENT_RE = re.compile(r"^(\w+)\((.*)\)$")
+
+_EVENT_KINDS: dict[str, type[FaultEvent]] = {
+    "crash": CrashFault,
+    "pause": PauseFault,
+    "partition": PartitionFault,
+    "degrade": DegradeFault,
+    "flap": FlapFault,
+    "dup": DuplicateFault,
+}
+
+
+def parse_event(text: str) -> FaultEvent:
+    """Parse one event repro string (inverse of ``event.to_repro()``)."""
+    match = _EVENT_RE.match(text.strip())
+    if match is None:
+        raise FaultPlanError(f"malformed fault event {text!r}")
+    kind, body = match.groups()
+    if kind not in _EVENT_KINDS:
+        known = ", ".join(sorted(_EVENT_KINDS))
+        raise FaultPlanError(f"unknown fault kind {kind!r}; known: {known}")
+    fields: dict[str, str] = {}
+    for item in body.split(","):
+        name, sep, value = item.partition("=")
+        if not sep:
+            raise FaultPlanError(f"malformed field {item!r} in {text!r}")
+        fields[name.strip()] = value.strip()
+    try:
+        return _build_event(kind, fields)
+    except (KeyError, ValueError) as error:
+        raise FaultPlanError(f"cannot parse {text!r}: {error}") from None
+
+
+def _build_event(kind: str, fields: dict[str, str]) -> FaultEvent:
+    if kind == "crash":
+        return CrashFault(time=float(fields["t"]), pid=int(fields["pid"]))
+    if kind == "pause":
+        return PauseFault(time=float(fields["t"]), pid=int(fields["pid"]),
+                          duration=float(fields["dur"]))
+    if kind == "partition":
+        return PartitionFault(start=float(fields["start"]),
+                              end=float(fields["end"]),
+                              groups=_parse_groups(fields["groups"]))
+    start, end = float(fields["start"]), float(fields["end"])
+    pairs = _parse_pairs(fields["pairs"])
+    if kind == "degrade":
+        return DegradeFault(start, end, pairs, loss=float(fields["loss"]),
+                            delay=float(fields["delay"]))
+    if kind == "flap":
+        return FlapFault(start, end, pairs, period=float(fields["period"]),
+                         up=float(fields["up"]))
+    return DuplicateFault(start, end, pairs, p=float(fields["p"]),
+                          lag=float(fields["lag"]))
+
+
+# ----------------------------------------------------------------------
+# FaultPlan
+# ----------------------------------------------------------------------
+
+class FaultPlan:
+    """An ordered, validated script of fault events.
+
+    Subsumes :class:`repro.sim.faults.CrashPlan` (see
+    :meth:`crashes_at`) and generalizes it to the full event zoo.  Plans
+    are immutable-by-convention data: printable, serializable through
+    :meth:`to_repro`, and comparable.
+    """
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        self.events: tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: (e.window()[0], e.kind, e.to_repro())))
+        crashed: set[int] = set()
+        for event in self.events:
+            if isinstance(event, CrashFault):
+                if event.pid in crashed:
+                    raise FaultPlanError(
+                        f"pid {event.pid} crashes twice (crash-stop model)")
+                crashed.add(event.pid)
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def crashes_at(cls, *pairs: tuple[float, int]) -> "FaultPlan":
+        """A pure-crash plan from ``(time, pid)`` pairs (à la CrashPlan)."""
+        return cls([CrashFault(time, pid) for time, pid in pairs])
+
+    @classmethod
+    def from_repro(cls, text: str) -> "FaultPlan":
+        """Parse a whitespace-separated sequence of event repro strings."""
+        return cls([parse_event(token) for token in text.split()])
+
+    # -- data accessors -------------------------------------------------
+
+    @property
+    def crashed_pids(self) -> set[int]:
+        """Pids that eventually crash under this plan."""
+        return {event.pid for event in self.events
+                if isinstance(event, CrashFault)}
+
+    @property
+    def crash_events(self) -> tuple[CrashFault, ...]:
+        """The crash subset, in schedule order."""
+        return tuple(event for event in self.events
+                     if isinstance(event, CrashFault))
+
+    def involved_pids(self) -> frozenset[int]:
+        """Every pid any event touches directly or via a link pair."""
+        pids: set[int] = set()
+        for event in self.events:
+            pids |= event.pids()
+            for src, dst in event.link_pairs():
+                pids.add(src)
+                pids.add(dst)
+        return frozenset(pids)
+
+    def last_disturbance(self) -> float:
+        """When the final fault window closes (0.0 for an empty plan)."""
+        return max((event.window()[1] for event in self.events), default=0.0)
+
+    # -- execution ------------------------------------------------------
+
+    def schedule(self, target: object) -> None:
+        """Validate against ``target`` and install every event.
+
+        ``target`` is anything with the cluster surface: ``sim``,
+        ``pids``, ``crash(pid)``, ``pause``/``resume`` and ``networks``.
+        Raises :class:`FaultPlanError` for pids the target does not own
+        or events already in the past at install time.
+        """
+        known = set(target.pids)
+        now = target.sim.now
+        for event in self.events:
+            unknown = (event.pids() | self.involved_link_pids(event)) - known
+            if unknown:
+                raise FaultPlanError(
+                    f"{event.to_repro()} targets unknown pids "
+                    f"{sorted(unknown)}; target owns {sorted(known)}")
+            if event.window()[0] < now:
+                raise FaultPlanError(
+                    f"{event.to_repro()} starts in the past "
+                    f"(now={now:g})")
+        for event in self.events:
+            event.schedule(target)
+
+    @staticmethod
+    def involved_link_pids(event: FaultEvent) -> set[int]:
+        """Pids referenced through an event's link pairs."""
+        return {pid for pair in event.link_pairs() for pid in pair}
+
+    # -- dunder ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        return self.events == other.events
+
+    def __hash__(self) -> int:
+        return hash(self.events)
+
+    def to_repro(self) -> str:
+        """One-line repro string; ``FaultPlan.from_repro`` inverts it."""
+        return " ".join(event.to_repro() for event in self.events)
+
+    def describe(self) -> str:
+        """Human-oriented rendering (same as the repro string)."""
+        return self.to_repro() if self.events else "(no faults)"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({self.describe()})"
+
+
+# ----------------------------------------------------------------------
+# Model envelope and violation judging
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ModelEnvelope:
+    """What the paper's model permits for one run.
+
+    Attributes
+    ----------
+    n:
+        System size (pids ``0..n-1``).
+    source:
+        The designated ◇source whose output links carry the timeliness
+        assumption.  Crashing it (or disturbing it forever) exits the
+        model.
+    f:
+        Fault bound: the maximum number of crashes.
+    gst:
+        Global stabilization time of the run's ◇timely links.
+    horizon:
+        When invariants are checked.
+    heal_margin:
+        Fraction of the horizon that must remain calm after the last
+        non-crash disturbance heals, so "eventually" has room to happen
+        (disturbances must end by ``horizon * (1 - heal_margin)``).
+    """
+
+    n: int
+    source: int
+    f: int
+    gst: float = 10.0
+    horizon: float = 400.0
+    heal_margin: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.source < self.n:
+            raise ValueError(f"source {self.source} outside 0..{self.n - 1}")
+        if self.f < 0:
+            raise ValueError("fault bound f must be >= 0")
+        if not 0.0 < self.heal_margin < 1.0:
+            raise ValueError("heal_margin must lie in (0, 1)")
+
+    @property
+    def heal_by(self) -> float:
+        """Latest time a disturbance may end and stay in-model."""
+        return self.horizon * (1.0 - self.heal_margin)
+
+
+def model_violations(plan: FaultPlan, envelope: ModelEnvelope) -> list[str]:
+    """Why ``plan`` exits the model of ``envelope`` (empty = in-model).
+
+    The rules mirror the paper's assumptions: at most ``f`` crashes,
+    the designated ◇source never crashes, and every temporary
+    disturbance (partition, pause, degradation, flapping) heals by
+    ``envelope.heal_by`` — a healed burst of loss or delay is legal on
+    every link type, but one that persists to the horizon denies the
+    "eventually" in eventually-timely and the fairness of fair-lossy
+    links.  Duplication only adds copies and never violates the model.
+    """
+    issues: list[str] = []
+    crashed = plan.crashed_pids
+    if envelope.source in crashed:
+        issues.append(
+            f"crashes the designated ◇source {envelope.source}")
+    if len(crashed) > envelope.f:
+        issues.append(
+            f"{len(crashed)} crashes exceed the fault bound f={envelope.f}")
+    out_of_range = {pid for pid in plan.involved_pids()
+                    if not 0 <= pid < envelope.n}
+    if out_of_range:
+        issues.append(f"references pids {sorted(out_of_range)} outside "
+                      f"0..{envelope.n - 1}")
+    for event in plan:
+        if isinstance(event, (CrashFault, DuplicateFault)):
+            continue
+        start, end = event.window()
+        if end > envelope.heal_by:
+            issues.append(
+                f"{event.to_repro()} persists past t={envelope.heal_by:g}; "
+                f"disturbances must heal with calm left before the horizon")
+    return issues
+
+
+# ----------------------------------------------------------------------
+# Nemesis: randomized in-model campaign generation
+# ----------------------------------------------------------------------
+
+def sample_plan(rng: random.Random, envelope: ModelEnvelope) -> FaultPlan:
+    """Draw one random fault plan that is in-model for ``envelope``.
+
+    The sampler composes every fault type the plan language offers while
+    honoring :func:`model_violations` by construction: crashes spare the
+    source and respect ``f``; pauses, partitions, degradations and flaps
+    all heal by ``envelope.heal_by``; duplication is unconstrained.
+    """
+    n, source = envelope.n, envelope.source
+    heal_by = envelope.heal_by
+    others = [pid for pid in range(n) if pid != source]
+    events: list[FaultEvent] = []
+
+    def stamp(lo: float, hi: float) -> float:
+        return round(rng.uniform(lo, min(hi, heal_by)), 2)
+
+    def sample_window(min_len: float, max_len: float) -> tuple[float, float]:
+        start = stamp(1.0, heal_by * 0.7)
+        length = rng.uniform(min_len, max_len)
+        end = round(min(start + length, heal_by), 2)
+        if end <= start:
+            end = round(start + min_len, 2)
+        return start, min(end, heal_by)
+
+    def sample_pairs(count: int) -> tuple[tuple[int, int], ...]:
+        all_pairs = [(i, j) for i in range(n) for j in range(n) if i != j]
+        return tuple(sorted(rng.sample(all_pairs, min(count, len(all_pairs)))))
+
+    # Crashes: up to f victims, never the source.
+    crash_count = rng.randint(0, min(envelope.f, len(others)))
+    victims = rng.sample(others, crash_count)
+    for pid in victims:
+        events.append(CrashFault(stamp(1.0, heal_by), pid))
+
+    # Pauses: freeze up to two still-correct processes (possibly the
+    # source — a finite stall just moves its effective GST).
+    pausable = [pid for pid in range(n) if pid not in victims]
+    for pid in rng.sample(pausable, min(len(pausable), rng.randint(0, 2))):
+        start = stamp(1.0, heal_by * 0.6)
+        duration = round(rng.uniform(2.0, 12.0), 2)
+        if start + duration > heal_by:
+            duration = round(heal_by - start, 2)
+        if duration > 0:
+            events.append(PauseFault(start, pid, duration))
+
+    # One healing partition: a minority (never containing the source)
+    # gets cut off, then the network heals.
+    if n >= 4 and rng.random() < 0.4:
+        minority_size = rng.randint(1, (n - 1) // 2)
+        minority = set(rng.sample(others, minority_size))
+        majority = tuple(pid for pid in range(n) if pid not in minority)
+        start, end = sample_window(5.0, 30.0)
+        events.append(PartitionFault(start, end,
+                                     (majority, tuple(sorted(minority)))))
+
+    # Loss/delay storms on a few links.
+    for _ in range(rng.randint(0, 2)):
+        start, end = sample_window(3.0, 25.0)
+        events.append(DegradeFault(
+            start, end, sample_pairs(rng.randint(1, 3)),
+            loss=round(rng.uniform(0.2, 0.9), 2),
+            delay=round(rng.uniform(0.0, 1.0), 2)))
+
+    # Link flapping.
+    if rng.random() < 0.3:
+        start, end = sample_window(5.0, 20.0)
+        events.append(FlapFault(
+            start, end, sample_pairs(rng.randint(1, 2)),
+            period=round(rng.uniform(1.0, 5.0), 2),
+            up=round(rng.uniform(0.3, 0.7), 2)))
+
+    # Duplication storms are always legal; let them run long.
+    if rng.random() < 0.4:
+        start = stamp(1.0, heal_by)
+        end = round(min(start + rng.uniform(10.0, 60.0),
+                        envelope.horizon), 2)
+        events.append(DuplicateFault(
+            start, end, sample_pairs(rng.randint(1, 3)),
+            p=round(rng.uniform(0.1, 0.5), 2)))
+
+    return FaultPlan(events)
+
+
+class Nemesis:
+    """A reproducible campaign generator for one model envelope.
+
+    Campaign ``index`` is always the same plan for the same
+    ``(seed, index)`` pair — the soak harness prints exactly those two
+    numbers as the repro handle, like ``FuzzCase`` does.
+    """
+
+    def __init__(self, envelope: ModelEnvelope, seed: int = 0) -> None:
+        self.envelope = envelope
+        self.seed = seed
+
+    def plan(self, index: int) -> FaultPlan:
+        """The ``index``-th campaign of this nemesis."""
+        rng = random.Random(f"nemesis/{self.seed}/{index}")
+        return sample_plan(rng, self.envelope)
+
+    def campaigns(self, count: int) -> list[FaultPlan]:
+        """The first ``count`` campaigns."""
+        return [self.plan(index) for index in range(count)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Nemesis(seed={self.seed}, envelope={self.envelope})"

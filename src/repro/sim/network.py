@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.sim.engine import Simulation
-from repro.sim.links import LinkPolicy, TimelyLink
+from repro.sim.links import DegradedWindow, LinkPolicy, PerturbedLink, TimelyLink
 from repro.sim.messages import Message
 from repro.sim.metrics import MetricsCollector
 from repro.sim.trace import CrashRecord, DeliverRecord, DropRecord, SendRecord, TraceLog
@@ -98,6 +98,25 @@ class Network:
             self._links[(src, dst)] = policy
         return policy
 
+    def perturb_link(self, src: int, dst: int, window: DegradedWindow) -> None:
+        """Overlay a :class:`DegradedWindow` on the ``src -> dst`` policy.
+
+        The pair's current policy is wrapped in a
+        :class:`~repro.sim.links.PerturbedLink` on first use; further
+        windows accumulate on the same wrapper.  This is the hook the
+        nemesis subsystem uses for loss storms, delay storms, flapping
+        and duplication without disturbing the base synchrony model.
+        """
+        if src == dst:
+            raise NetworkError("no self-links in the model")
+        self.process(src)
+        self.process(dst)
+        policy = self.link(src, dst)
+        if not isinstance(policy, PerturbedLink):
+            policy = PerturbedLink(policy)
+            self._links[(src, dst)] = policy
+        policy.add_window(window)
+
     # ------------------------------------------------------------------
     # Partitions
     # ------------------------------------------------------------------
@@ -117,6 +136,19 @@ class Network:
         if end <= start:
             raise NetworkError("partition must have positive duration")
         frozen = tuple(frozenset(group) for group in groups)
+        seen: set[int] = set()
+        for group in frozen:
+            overlap = seen & group
+            if overlap:
+                raise NetworkError(
+                    f"partition groups must be pairwise disjoint; "
+                    f"{sorted(overlap)} appear in more than one group")
+            for pid in group:
+                if pid not in self._processes:
+                    raise NetworkError(
+                        f"partition references unknown pid {pid}; "
+                        f"registered: {self.pids}")
+            seen |= group
         self._partitions.append((start, end, frozen))
 
     def partitioned(self, src: int, dst: int, now: float) -> bool:
@@ -158,12 +190,15 @@ class Network:
             return
 
         rng = self.sim.rng.stream("link", src, dst)
-        delay = self.link(src, dst).plan(message, now, rng)
-        if delay is None:
+        delays = self.link(src, dst).plan_all(message, now, rng)
+        if not delays:
             self.trace.record(DropRecord(now, src, dst, message.kind, "link"))
             self.metrics.on_drop(now, src, dst, message.kind, "link")
             return
-        self.sim.call_after(delay, lambda: self._deliver(src, dst, message, now))
+        # Base links deliver one copy; perturbed links may duplicate.
+        for delay in delays:
+            self.sim.call_after(
+                delay, lambda: self._deliver(src, dst, message, now))
 
     def broadcast(self, src: int, message: Message) -> None:
         """Send ``message`` from ``src`` to every other registered process."""

@@ -22,6 +22,16 @@ Protocols subclass :class:`Process` and override the hooks:
 ``on_crash()``
     Last hook before the process goes silent; useful for checkers.
 
+Besides the permanent crash, a process can be **paused** and later
+**resumed** (think SIGSTOP, a long GC pause, a VM migration).  While
+paused it sends nothing, dispatches no timer handlers, and processes no
+deliveries; incoming messages are buffered and handed to ``on_message``
+at resume time, and one-shot timers that expired during the pause fire
+(late) at resume.  Periodic timers keep re-arming silently so their
+cycle survives the freeze.  Pauses are how the nemesis fault injector
+(:mod:`repro.sim.nemesis`) provokes false suspicions without leaving
+the crash-stop model.
+
 Timers are named by an arbitrary hashable key; setting a timer that
 already exists resets it (the usual "reset timer_p" of the pseudocode in
 this literature).
@@ -48,8 +58,11 @@ class Process:
         self.network = network
         self._crashed = False
         self._started = False
+        self._paused = False
         self._timers: dict[Hashable, EventHandle] = {}
         self._periods: dict[Hashable, float] = {}
+        self._held_messages: list[Message] = []
+        self._missed_timers: list[Hashable] = []
         network.register(self)
 
     # ------------------------------------------------------------------
@@ -71,6 +84,11 @@ class Process:
         """Whether :meth:`start` has run."""
         return self._started
 
+    @property
+    def paused(self) -> bool:
+        """Whether the process is currently frozen (see :meth:`pause`)."""
+        return self._paused
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -87,26 +105,67 @@ class Process:
         if self._crashed:
             return
         self._crashed = True
+        self._paused = False
         for handle in self._timers.values():
             handle.cancel()
         self._timers.clear()
         self._periods.clear()
+        self._held_messages.clear()
+        self._missed_timers.clear()
         self.network.note_crash(self.pid)
         self.on_crash()
+
+    def pause(self) -> None:
+        """Freeze the process: no sends, no handler dispatch, until resume.
+
+        Idempotent; a no-op on crashed processes.  Deliveries and expired
+        one-shot timers are queued and replayed by :meth:`resume`.
+        """
+        if self._crashed or self._paused:
+            return
+        self._paused = True
+
+    def resume(self) -> None:
+        """Unfreeze the process and replay what it missed while paused.
+
+        One-shot timers that expired during the pause fire first (late,
+        at the current time), then buffered deliveries are dispatched in
+        arrival order.  Idempotent; a no-op on crashed processes.
+        """
+        if self._crashed or not self._paused:
+            return
+        self._paused = False
+        missed, self._missed_timers = self._missed_timers, []
+        held, self._held_messages = self._held_messages, []
+        for position, key in enumerate(missed):
+            if self._crashed:
+                return
+            if self._paused:  # handler re-paused us: keep the remainder
+                self._missed_timers = missed[position:] + self._missed_timers
+                self._held_messages = held + self._held_messages
+                return
+            self.on_timer(key)
+        for position, message in enumerate(held):
+            if self._crashed:
+                return
+            if self._paused:
+                self._held_messages = held[position:] + self._held_messages
+                return
+            self.on_message(message)
 
     # ------------------------------------------------------------------
     # Messaging
     # ------------------------------------------------------------------
 
     def send(self, dst: int, message: Message) -> None:
-        """Send a message to ``dst``; silently ignored after a crash."""
-        if self._crashed:
+        """Send a message to ``dst``; ignored while crashed or paused."""
+        if self._crashed or self._paused:
             return
         self.network.send(self.pid, dst, message)
 
     def broadcast(self, message: Message) -> None:
-        """Send a message to every other process; ignored after a crash."""
-        if self._crashed:
+        """Send to every other process; ignored while crashed or paused."""
+        if self._crashed or self._paused:
             return
         self.network.broadcast(self.pid, message)
 
@@ -150,6 +209,11 @@ class Process:
         if period is not None:
             # Re-arm before dispatch so on_timer may cancel to stop the cycle.
             self._timers[key] = self.sim.call_after(period, lambda: self._fire(key))
+            if self._paused:  # frozen: the cycle survives, the tick is lost
+                return
+        elif self._paused:  # one-shot expiring under a pause fires at resume
+            self._missed_timers.append(key)
+            return
         self.on_timer(key)
 
     # ------------------------------------------------------------------
@@ -159,6 +223,9 @@ class Process:
     def deliver(self, message: Message) -> None:
         """Entry point used by the network; dispatches to ``on_message``."""
         if self._crashed:
+            return
+        if self._paused:  # frozen endpoint: the kernel buffers for us
+            self._held_messages.append(message)
             return
         self.on_message(message)
 
@@ -179,5 +246,10 @@ class Process:
         """Crash hook; default does nothing."""
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "crashed" if self._crashed else ("up" if self._started else "new")
+        if self._crashed:
+            state = "crashed"
+        elif self._paused:
+            state = "paused"
+        else:
+            state = "up" if self._started else "new"
         return f"<{type(self).__name__} pid={self.pid} {state}>"

@@ -45,6 +45,29 @@ class TestCrashPlan:
         cluster.run_until(1.0)
         assert cluster.crashed_pids() == []
 
+    def test_unknown_pid_rejected_up_front(self) -> None:
+        # Regression: scheduling a crash for a pid the cluster does not
+        # own used to blow up later, inside the event, with a KeyError.
+        cluster = build_cluster(n=4)
+        with pytest.raises(ValueError, match="unknown pid 9"):
+            CrashPlan.crash_at((1.0, 9)).schedule(cluster)
+
+    def test_past_time_rejected_up_front(self) -> None:
+        # Regression: crashes scheduled behind sim.now were silently
+        # dropped by the event queue instead of failing loudly.
+        cluster = build_cluster()
+        cluster.run_until(5.0)
+        with pytest.raises(ValueError, match="in the past"):
+            CrashPlan.crash_at((1.0, 2)).schedule(cluster)
+
+    def test_nothing_scheduled_when_validation_fails(self) -> None:
+        cluster = build_cluster()
+        with pytest.raises(ValueError):
+            CrashPlan.crash_at((1.0, 0), (2.0, 9)).schedule(cluster)
+        cluster.run_until(3.0)
+        assert cluster.crashed_pids() == [], \
+            "a rejected plan must not leave partial crashes behind"
+
 
 class TestRandomCrashPlan:
     def test_respects_max_crashes(self) -> None:

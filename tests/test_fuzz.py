@@ -7,6 +7,7 @@ import random
 import pytest
 
 from repro.harness.fuzz import FuzzCase, fuzz, run_case, sample_case
+from repro.sim.nemesis import model_violations
 
 
 class TestSampling:
@@ -15,34 +16,38 @@ class TestSampling:
         second = [sample_case(random.Random(7), i) for i in range(10)]
         assert first == second
 
-    def test_source_never_crashes(self) -> None:
+    def test_plans_are_in_model(self) -> None:
+        # The nemesis sampler carries the old guarantees (source never
+        # crashes, crash count below a majority, disturbances heal) and
+        # model_violations is the oracle for all of them at once.
         rng = random.Random(1)
         for index in range(200):
             case = sample_case(rng, index)
-            crashed = {pid for _, pid in case.crashes}
-            assert case.source not in crashed
+            assert model_violations(case.fault_plan(), case.envelope()) == []
 
-    def test_crashes_stay_below_majority(self) -> None:
+    def test_source_never_crashes(self) -> None:
         rng = random.Random(2)
         for index in range(200):
             case = sample_case(rng, index)
-            assert len(case.crashes) <= (case.n - 1) // 2
+            assert case.source not in case.fault_plan().crashed_pids
 
-    def test_partitions_heal_before_horizon(self) -> None:
+    def test_crashes_stay_below_majority(self) -> None:
         rng = random.Random(3)
         for index in range(200):
             case = sample_case(rng, index)
-            if case.partition is not None:
-                start, end, group = case.partition
-                assert end < case.horizon / 2
-                assert case.source in group, \
-                    "the majority side must retain the source"
+            assert len(case.fault_plan().crashed_pids) <= (case.n - 1) // 2
 
     def test_describe_is_one_line(self) -> None:
         case = sample_case(random.Random(4), 0)
         text = case.describe()
         assert "\n" not in text
         assert f"n={case.n}" in text
+
+    def test_plan_round_trips_through_describe_field(self) -> None:
+        rng = random.Random(6)
+        for index in range(50):
+            case = sample_case(rng, index)
+            assert case.fault_plan().to_repro() == case.plan
 
 
 class TestExecution:
@@ -64,11 +69,14 @@ class TestExecution:
             fuzz(0)
 
     def test_explicit_case_execution(self) -> None:
-        # A handcrafted worst legal single-decree world.
+        # A handcrafted worst legal single-decree world: two early
+        # crashes and a healing partition isolating pid 4 with the
+        # source on the majority side, written as a plan repro string.
         case = FuzzCase(index=0, kind="single-decree",
                         algorithm="comm-efficient", n=5, source=2,
                         seed=99, horizon=400.0, fair_loss=0.5, gst=8.0,
-                        crashes=((2.0, 0), (4.0, 4)),
-                        partition=(10.0, 30.0, (0, 1, 2, 3)))
+                        plan="crash(t=2.0,pid=0) "
+                             "partition(start=10.0,end=30.0,"
+                             "groups=1.2.3|4)")
         result = run_case(case)
         assert result.ok, result.detail

@@ -10,9 +10,11 @@ from conftest import Probe
 
 from repro.sim.links import (
     DeadLink,
+    DegradedWindow,
     EventuallyTimelyLink,
     FairLossyLink,
     LossyAsyncLink,
+    PerturbedLink,
     TimelyLink,
 )
 
@@ -146,6 +148,120 @@ class TestLossyAsyncLink:
     def test_rejects_bad_probability(self) -> None:
         with pytest.raises(ValueError):
             LossyAsyncLink(loss=-0.1)
+
+
+class TestFairLossyEdgeCases:
+    def test_bound_holds_under_total_loss_pressure(self,
+                                                   rng: random.Random) -> None:
+        # loss=1.0 is the adversary's best move: *every* message the
+        # fairness counter permits to drop is dropped.  The per-key
+        # streak bound must still force a delivery every k+1 sends.
+        link = FairLossyLink(loss=1.0, max_consecutive_drops=3)
+        fates = [link.plan(MSG, 0.0, rng) is not None for _ in range(400)]
+        assert fates == [i % 4 == 3 for i in range(400)]
+
+    def test_streaks_are_per_link_instance(self, rng: random.Random) -> None:
+        # Fairness state must live on the (link, fairness_key) pair, not
+        # on the class: exhausting one link's streak must not force a
+        # delivery on a sibling link.
+        first = FairLossyLink(loss=1.0, max_consecutive_drops=2)
+        second = FairLossyLink(loss=1.0, max_consecutive_drops=2)
+        assert first.plan(MSG, 0.0, rng) is None
+        assert first.plan(MSG, 0.0, rng) is None
+        assert second.plan(MSG, 0.0, rng) is None, \
+            "fresh link starts its own streak"
+        assert first.plan(MSG, 0.0, rng) is not None
+
+
+class TestDeadLinkEdgeCases:
+    def test_drops_everything_forever(self, rng: random.Random) -> None:
+        link = DeadLink()
+        assert all(link.plan(MSG, now=float(t), rng=rng) is None
+                   for t in range(500))
+
+    def test_plan_all_is_empty(self, rng: random.Random) -> None:
+        assert DeadLink().plan_all(MSG, 0.0, rng) == []
+
+
+class TestEventuallyTimelyBoundary:
+    def test_within_delta_at_exactly_gst(self, rng: random.Random) -> None:
+        # The model quantifies over messages sent at t >= GST, so the
+        # boundary send must already enjoy the post-GST bound.
+        link = EventuallyTimelyLink(gst=25.0, delta=0.07)
+        for _ in range(200):
+            delay = link.plan(MSG, now=25.0, rng=rng)
+            assert delay is not None and delay <= 0.07
+
+
+class TestDegradedWindow:
+    def test_active_is_half_open(self) -> None:
+        window = DegradedWindow(start=2.0, end=4.0, loss=0.5)
+        assert not window.active(1.99)
+        assert window.active(2.0)
+        assert window.active(3.99)
+        assert not window.active(4.0)
+
+    def test_flap_phase(self) -> None:
+        window = DegradedWindow(start=10.0, end=20.0, flap_period=2.0,
+                                flap_up=0.5)
+        assert not window.flapped_down(10.5)   # first half of the period: up
+        assert window.flapped_down(11.5)       # second half: down
+        assert not window.flapped_down(12.5)   # next period: up again
+
+    def test_rejects_bad_parameters(self) -> None:
+        with pytest.raises(ValueError):
+            DegradedWindow(start=5.0, end=5.0)
+        with pytest.raises(ValueError):
+            DegradedWindow(start=0.0, end=1.0, loss=1.5)
+        with pytest.raises(ValueError):
+            DegradedWindow(start=0.0, end=1.0, flap_period=1.0, flap_up=0.0)
+
+
+class TestPerturbedLink:
+    def test_transparent_outside_windows(self) -> None:
+        # Identical rng draws with and without the wrapper: a window
+        # that never activates must not change the run at all.
+        def plans(policy) -> list:  # noqa: ANN001
+            rng = random.Random(17)
+            return [policy.plan_all(MSG, now=float(t), rng=rng)
+                    for t in range(100)]
+
+        bare = FairLossyLink(loss=0.4)
+        wrapped = PerturbedLink(FairLossyLink(loss=0.4),
+                                [DegradedWindow(start=500.0, end=600.0,
+                                                loss=1.0)])
+        assert plans(bare) == plans(wrapped)
+
+    def test_window_loss_drops_messages(self, rng: random.Random) -> None:
+        link = PerturbedLink(TimelyLink(),
+                             [DegradedWindow(start=0.0, end=10.0, loss=1.0)])
+        assert link.plan_all(MSG, now=5.0, rng=rng) == []
+        assert link.plan_all(MSG, now=10.0, rng=rng) != []
+
+    def test_flap_down_phase_drops(self, rng: random.Random) -> None:
+        link = PerturbedLink(TimelyLink(),
+                             [DegradedWindow(start=0.0, end=100.0,
+                                             flap_period=2.0, flap_up=0.5)])
+        assert link.plan_all(MSG, now=0.5, rng=rng) != []
+        assert link.plan_all(MSG, now=1.5, rng=rng) == []
+
+    def test_duplication_adds_a_lagged_copy(self, rng: random.Random) -> None:
+        link = PerturbedLink(TimelyLink(delta=0.05),
+                             [DegradedWindow(start=0.0, end=10.0,
+                                             duplicate=1.0,
+                                             duplicate_lag=0.5)])
+        copies = link.plan_all(MSG, now=1.0, rng=rng)
+        assert len(copies) == 2
+        assert copies[0] <= copies[1] <= copies[0] + 0.5
+
+    def test_extra_delay_stretches_copies(self, rng: random.Random) -> None:
+        link = PerturbedLink(TimelyLink(delta=0.05),
+                             [DegradedWindow(start=0.0, end=10.0,
+                                             extra_delay=3.0)])
+        stretched = [link.plan_all(MSG, now=1.0, rng=rng)[0]
+                     for _ in range(200)]
+        assert all(delay <= 3.05 for delay in stretched)
+        assert max(stretched) > 0.05, "some copies must actually stretch"
 
 
 class TestDeterminismAcrossPolicies:

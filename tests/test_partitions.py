@@ -60,11 +60,30 @@ class TestPartitionMechanics:
 
     def test_partitioned_predicate(self, sim: Simulation,
                                    network: Network) -> None:
+        make_pair(sim, network)
+        Recorder(2, sim, network).start()
         network.add_partition(2.0, 4.0, [{0, 1}, {2}])
         assert not network.partitioned(0, 2, 1.0)
         assert network.partitioned(0, 2, 2.0)
         assert not network.partitioned(0, 1, 3.0)
         assert not network.partitioned(0, 2, 4.0)
+
+    def test_overlapping_groups_rejected(self, sim: Simulation,
+                                         network: Network) -> None:
+        # Regression: non-disjoint groups used to be accepted silently,
+        # making the "same side" predicate ambiguous.
+        make_pair(sim, network)
+        Recorder(2, sim, network).start()
+        with pytest.raises(NetworkError, match="disjoint"):
+            network.add_partition(0.0, 10.0, [{0, 1}, {1, 2}])
+
+    def test_unknown_pid_rejected(self, sim: Simulation,
+                                  network: Network) -> None:
+        # Regression: partitions naming unregistered pids used to be
+        # installed silently and never matched anything.
+        make_pair(sim, network)
+        with pytest.raises(NetworkError, match="unknown pid 7"):
+            network.add_partition(0.0, 10.0, [{0}, {7}])
 
 
 class TestOmegaAcrossPartitions:
