@@ -8,6 +8,10 @@ algorithm on the same 8-process eventually-timely-source system.
 Expected shape: all three start with all 8 processes talking; the
 communication-efficient run collapses to a single sender (n-1 = 7 links)
 shortly after GST while the other two stay at 8 senders forever.
+
+Large-n extension: the same collapse at n = 32/64, where the per-window
+message gap versus the all-to-all baseline (which scales Θ(n²)) becomes
+dramatic — at n = 64 the steady state is ~64× fewer messages.
 """
 
 from __future__ import annotations
@@ -43,6 +47,33 @@ def run_timelines() -> dict[str, list[tuple[int, int]]]:
     return series
 
 
+LARGE_N = (32, 64)
+LARGE_HORIZON = 240.0
+
+
+def run_large_n() -> list[list[object]]:
+    """Steady-state senders/messages of the CE algorithm at large n.
+
+    The all-to-all baseline's steady state needs no run to know: every
+    process broadcasts each heartbeat period forever, so its final
+    window carries ``n(n-1) * window/eta`` messages; the table prints
+    that analytic figure next to the measured CE census.
+    """
+    rows: list[list[object]] = []
+    for n in LARGE_N:
+        outcome = OmegaScenario(
+            algorithm="comm-efficient", n=n, system="source", source=3,
+            seed=2, horizon=LARGE_HORIZON, timings=TIMINGS).run()
+        metrics = outcome.cluster.metrics
+        start = LARGE_HORIZON - WINDOW
+        senders = len(metrics.senders_between(start, LARGE_HORIZON - 0.001))
+        messages = metrics.messages_between(start, LARGE_HORIZON - 0.001)
+        baseline = int(n * (n - 1) * WINDOW / 0.5)  # eta = 0.5s heartbeats
+        rows.append([n, senders, messages, baseline,
+                     f"{baseline / max(messages, 1):.0f}x"])
+    return rows
+
+
 def test_e2_message_timeline(benchmark) -> None:  # noqa: ANN001
     series = benchmark.pedantic(run_timelines, rounds=1, iterations=1)
     rows = []
@@ -63,10 +94,21 @@ def test_e2_message_timeline(benchmark) -> None:  # noqa: ANN001
         {name: [point[0] for point in series[name]]
          for name in ("all-timely", "source", "comm-efficient")},
         title="\nactive senders per window (scale 0..8):")
-    emit("e2_msg_timeline", table + "\n" + figure)
+
+    large_rows = run_large_n()
+    large_table = render_table(
+        ["n", "senders (final 10s)", "CE msgs (final 10s)",
+         "all-to-all msgs (analytic)", "reduction"],
+        large_rows,
+        title=("Large-n: CE steady state vs the Θ(n²) baseline "
+               f"(final {WINDOW:g}s window, horizon {LARGE_HORIZON:g}s)"))
+    emit("e2_msg_timeline", table + "\n" + figure + "\n\n" + large_table)
 
     final_ce = series["comm-efficient"][-1]
     final_base = series["all-timely"][-1]
     assert final_ce[0] == 1, "CE must end with exactly one sender"
     assert final_base[0] == N, "baseline keeps everyone talking"
     assert final_ce[1] * 4 < final_base[1]
+    for n, senders, messages, baseline, _ in large_rows:
+        assert senders == 1, f"CE must collapse to one sender at n={n}"
+        assert messages * 8 < baseline

@@ -5,6 +5,13 @@ carry messages forever.  For each algorithm and system size we census
 the links active in the final 20 seconds of a long run and compare with
 the theoretical targets: n-1 for the communication-efficient algorithm,
 n(n-1) for the all-to-all ones.
+
+Large-n extension: the asymptotic gap is the headline, so the census is
+also run at n = 32/64/128 for the communication-efficient algorithm
+(plus the R1 source algorithm at n = 32 as the Θ(n²) reference — the
+full matrix at n = 128 would be 16 256 busy links of pure baseline
+traffic and adds nothing).  Larger systems need longer horizons for the
+accusation-counter race to settle, hence the per-size horizon schedule.
 """
 
 from __future__ import annotations
@@ -16,24 +23,46 @@ from repro.sim import LinkTimings
 
 TIMINGS = LinkTimings(gst=5.0)
 
-
-def run_census() -> list[list[object]]:
-    rows: list[list[object]] = []
+# (algorithm, system, n) rows of the census; the classic 4/8/16 matrix
+# plus the large-n sweep of the communication-efficient headline.
+MATRIX = [
+    (algorithm, system, n)
     for algorithm, system in (("all-timely", "all-et"),
                               ("source", "source"),
                               ("comm-efficient", "source"),
-                              ("f-source", "f-source")):
-        for n in (4, 8, 16):
-            scenario = OmegaScenario(
-                algorithm=algorithm, n=n, system=system, source=1,
-                targets=(0, 2) if system == "f-source" else (),
-                seed=3, horizon=240.0, ce_window=20.0, timings=TIMINGS)
-            outcome = scenario.run()
-            active = len(outcome.comm.links)
-            rows.append([
-                algorithm, n, active, n - 1, n * (n - 1),
-                outcome.communication_efficient,
-            ])
+                              ("f-source", "f-source"))
+    for n in (4, 8, 16)
+] + [
+    ("source", "source", 32),
+    ("comm-efficient", "source", 32),
+    ("comm-efficient", "source", 64),
+    ("comm-efficient", "source", 128),
+]
+
+
+def census_horizon(n: int) -> float:
+    """Per-size horizon: counter races settle later in larger systems."""
+    if n <= 16:
+        return 240.0
+    if n <= 64:
+        return 480.0
+    return 900.0
+
+
+def run_census() -> list[list[object]]:
+    rows: list[list[object]] = []
+    for algorithm, system, n in MATRIX:
+        scenario = OmegaScenario(
+            algorithm=algorithm, n=n, system=system, source=1,
+            targets=(0, 2) if system == "f-source" else (),
+            seed=3, horizon=census_horizon(n), ce_window=20.0,
+            timings=TIMINGS)
+        outcome = scenario.run()
+        active = len(outcome.comm.links)
+        rows.append([
+            algorithm, n, active, n - 1, n * (n - 1),
+            outcome.communication_efficient,
+        ])
     return rows
 
 
@@ -44,7 +73,7 @@ def test_e3_link_census(benchmark) -> None:  # noqa: ANN001
          "comm-efficient"],
         rows,
         title=("Table 2 (E3): link census in the final window — "
-               "the CE algorithm touches exactly n-1 links"))
+               "the CE algorithm touches exactly n-1 links, up to n=128"))
     emit("e3_link_census", table)
     for row in rows:
         algorithm, n, active, ce_target, full, efficient = row

@@ -16,6 +16,8 @@ Examples
     python -m repro sweep --n 5 --horizon 400
     python -m repro soak --cases 50 --seed 7
     python -m repro soak --minutes 10
+    python -m repro bench --jobs 4 --seed 7
+    python -m repro bench --quick --jobs 2 --out bench-smoke.json
 
 Every command prints human-readable tables (the same renderer the
 benchmarks use) and exits non-zero if the run violated the property it
@@ -25,6 +27,7 @@ was asked to demonstrate.
 from __future__ import annotations
 
 import argparse
+import os
 from typing import Sequence
 
 from repro.consensus import (
@@ -288,6 +291,53 @@ def cmd_soak(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.harness import bench
+
+    experiments = (tuple(part for part in args.experiments.split(","))
+                   if args.experiments else bench.EXPERIMENTS)
+    try:
+        cases = bench.default_suite(seed=args.seed, experiments=experiments,
+                                    quick=args.quick, full=args.full)
+    except ValueError as error:
+        raise SystemExit(str(error))
+    jobs = args.jobs if args.jobs else (os.cpu_count() or 1)
+    started = time.perf_counter()
+    results = bench.run_suite(cases, jobs=jobs)
+    wall = time.perf_counter() - started
+    report = bench.build_report(results, seed=args.seed, jobs=jobs,
+                                suite="quick" if args.quick else "e1-e4",
+                                wall_s=wall)
+
+    rows = [[r["case_id"], "ok" if r["ok"] else "FAIL",
+             f"{r['timing']['wall_s']:.2f}",
+             f"{r['sim_time_s']:g}",
+             f"{r['timing']['events_per_s']:,.0f}"]
+            for r in results]
+    print(render_table(
+        ["case", "verdict", "wall (s)", "sim (s)", "events/s"], rows,
+        title=f"bench suite ({len(results)} cases, jobs={jobs}, "
+              f"seed={args.seed})"))
+    summary = report["summary"]
+    print(f"\n{summary['ok']}/{summary['cases']} cases ok   "
+          f"events={summary['events']:,}   "
+          f"sim={summary['sim_time_s']:,.0f}s   wall={wall:.1f}s   "
+          f"({summary['events'] / wall:,.0f} events/s aggregate)")
+    if not args.no_out:
+        out = args.out or bench.default_output_name()
+        with open(out, "w") as handle:
+            handle.write(bench.report_to_json(report))
+        print(f"report written to {out}")
+    failed = [r["case_id"] for r in results if not r["ok"]]
+    if failed:
+        print("\nverdict regressions:")
+        for case_id in failed:
+            print(f"  FAIL {case_id}")
+    return 1 if failed else 0
+
+
 def cmd_qos(args: argparse.Namespace) -> int:
     from repro.core import measure_qos
 
@@ -432,6 +482,26 @@ def build_parser() -> argparse.ArgumentParser:
     soak_cmd.add_argument("--stop-on-failure", action="store_true",
                           help="stop at the first failing campaign")
     soak_cmd.set_defaults(handler=cmd_soak)
+
+    bench_cmd = sub.add_parser(
+        "bench", help="parallel E1-E4 experiment suite with a "
+                      "machine-readable BENCH_<date>.json report")
+    bench_cmd.add_argument("--jobs", type=int, default=0,
+                           help="worker processes (default: all CPU cores); "
+                                "results are identical at any level")
+    bench_cmd.add_argument("--seed", type=int, default=7)
+    bench_cmd.add_argument("--quick", action="store_true",
+                           help="CI-smoke sizing (small n, short horizons)")
+    bench_cmd.add_argument("--full", action="store_true",
+                           help="include the heaviest rows (E3 at n=128)")
+    bench_cmd.add_argument("--experiments", default="",
+                           metavar="E1,E2,...",
+                           help="comma-separated subset of e1,e2,e3,e4")
+    bench_cmd.add_argument("--out", default="",
+                           help="report path (default BENCH_<date>.json)")
+    bench_cmd.add_argument("--no-out", action="store_true",
+                           help="print tables only, write no JSON")
+    bench_cmd.set_defaults(handler=cmd_bench)
 
     qos = sub.add_parser("qos", help="failure-detector QoS per algorithm")
     qos.add_argument("--n", type=int, default=6)

@@ -64,7 +64,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SnapshotOffer(Message):
     """State transfer: the sender's machine state through ``through``.
 
@@ -77,7 +77,7 @@ class SnapshotOffer(Message):
     applied_ids: tuple[Hashable, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SnapshotAck(Message):
     """Acknowledgement of a :class:`SnapshotOffer`."""
 

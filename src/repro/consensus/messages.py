@@ -44,7 +44,7 @@ BOTTOM_BALLOT = Ballot(-1, -1)
 """Sorts below every real ballot; the initial promise of an acceptor."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Prepare(Message):
     """Phase-1a: ``sender`` asks for promises for ``ballot``.
 
@@ -57,7 +57,7 @@ class Prepare(Message):
     from_instance: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Promise(Message):
     """Phase-1b: acceptor promises ``ballot`` and reports what it accepted.
 
@@ -70,7 +70,7 @@ class Promise(Message):
     accepted: tuple[tuple[int, tuple[Ballot, Any]], ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Propose(Message):
     """Phase-2a: accept request for ``value`` in ``instance`` at ``ballot``.
 
@@ -85,7 +85,7 @@ class Propose(Message):
     commit_through: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Accepted(Message):
     """Phase-2b: acceptor accepted ``instance`` at ``ballot``."""
 
@@ -93,7 +93,7 @@ class Accepted(Message):
     instance: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Nack(Message):
     """Rejection of a prepare/propose: the acceptor already promised higher.
 
@@ -105,7 +105,7 @@ class Nack(Message):
     promised: Ballot
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Decide(Message):
     """Decision announcement for ``instance``; retransmitted until acked."""
 
@@ -113,14 +113,14 @@ class Decide(Message):
     value: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DecideAck(Message):
     """Acknowledgement of a :class:`Decide`."""
 
     instance: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Forward(Message):
     """Client command forwarded to the process its sender believes leads.
 

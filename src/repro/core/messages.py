@@ -36,12 +36,12 @@ from repro.sim.messages import Message
 __all__ = ["Heartbeat", "Alive", "Accusation", "FsAlive", "Suspect"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Heartbeat(Message):
     """Plain heartbeat of the all-timely baseline."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Alive(Message):
     """Leader-candidate heartbeat with priority and phase.
 
@@ -58,7 +58,7 @@ class Alive(Message):
     phase: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Accusation(Message):
     """Timeout report sent to the process whose heartbeat went silent.
 
@@ -75,7 +75,7 @@ class Accusation(Message):
     phase: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FsAlive(Message):
     """◇f-source algorithm heartbeat gossiping the counter vector.
 
@@ -90,7 +90,7 @@ class FsAlive(Message):
     counters: tuple[int, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Suspect(Message):
     """Broadcast suspicion for the quorum-confirmed counters of R3.
 

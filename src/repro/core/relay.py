@@ -56,7 +56,7 @@ BROADCAST = -1
 """Target value of a flooded broadcast (every process consumes)."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Relay(Message):
     """Flooded envelope around an inner protocol message.
 

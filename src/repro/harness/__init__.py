@@ -5,6 +5,13 @@ a thin sweep over declarative :class:`OmegaScenario` values (or the
 consensus builders) plus a rendered table.
 """
 
+from repro.harness.bench import (
+    BenchCase,
+    build_report,
+    default_suite,
+    run_suite,
+    strip_nondeterministic,
+)
 from repro.harness.fuzz import FuzzCase, FuzzResult, fuzz, run_case, sample_case
 from repro.harness.plot import render_bars, render_series, sparkline
 from repro.harness.scenarios import SYSTEM_NAMES, OmegaOutcome, OmegaScenario
@@ -20,6 +27,11 @@ from repro.harness.stats import Summary, percentile, summarize
 from repro.harness.tables import format_value, render_table
 
 __all__ = [
+    "BenchCase",
+    "build_report",
+    "default_suite",
+    "run_suite",
+    "strip_nondeterministic",
     "FuzzCase",
     "FuzzResult",
     "fuzz",

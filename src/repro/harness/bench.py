@@ -1,0 +1,402 @@
+"""Scale-out experiment bench runner.
+
+This module turns the E1–E4 experiment suite into a list of independent
+:class:`BenchCase` values, fans them out across CPU cores with
+``multiprocessing``, and merges the results into a versioned,
+machine-readable report (``BENCH_<date>.json``) so the repository's
+performance trajectory is measurable run over run.
+
+Determinism
+-----------
+Each case carries its own seed and runs one self-contained simulation,
+so a case's *result* (verdicts, stabilization times, link censuses,
+event counts, simulated durations) is bit-for-bit identical no matter
+which worker executes it or how many jobs run concurrently.  Cases are
+generated in canonical order and results are merged back into that
+order, so two reports produced from the same suite and seed differ only
+in the wall-clock ``timing`` blocks and the ``meta`` header — that is
+asserted by ``tests/test_bench.py``.
+
+Report schema (``repro-bench/v1``)
+----------------------------------
+See ``docs/PERFORMANCE.md`` for the field-by-field description.  The
+deterministic payload lives under ``cases[*]`` (minus ``timing``) and
+``summary``; everything wall-clock- or host-dependent lives under
+``cases[*].timing`` and ``meta``.
+"""
+
+from __future__ import annotations
+
+import datetime as _datetime
+import json
+import multiprocessing
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.core import OmegaConfig, analyze_omega_run
+from repro.harness.scenarios import OmegaScenario
+from repro.sim import LinkTimings
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "EXPERIMENTS",
+    "BenchCase",
+    "default_suite",
+    "run_case",
+    "run_suite",
+    "build_report",
+    "report_to_json",
+    "strip_nondeterministic",
+    "default_output_name",
+]
+
+SCHEMA_VERSION = "repro-bench/v1"
+"""Version tag of the JSON report layout; bump on breaking changes."""
+
+EXPERIMENTS = ("e1", "e2", "e3", "e4")
+"""Experiment families the runner knows how to fan out."""
+
+_TIMINGS = LinkTimings(gst=5.0)
+
+
+# ----------------------------------------------------------------------
+# Cases
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One independently runnable experiment case.
+
+    ``case_id`` is the canonical identity (unique within a suite, stable
+    across runs); ``params`` are the keyword arguments of the experiment
+    family's runner.  Cases are plain data so they pickle cleanly across
+    ``multiprocessing`` workers.
+    """
+
+    case_id: str
+    experiment: str
+    params: dict = field(default_factory=dict)
+
+
+def _census_horizon(n: int) -> float:
+    """Simulated seconds needed for the counter race to settle at size n.
+
+    Stabilization of the accusation-counter algorithms grows with n
+    (more processes accuse before the source's counter wins); these
+    horizons leave a comfortable quiet tail for the trailing census
+    window at every size the suite uses.
+    """
+    if n <= 16:
+        return 240.0
+    if n <= 64:
+        return 480.0
+    return 900.0
+
+
+def default_suite(
+    seed: int = 7,
+    experiments: Sequence[str] = EXPERIMENTS,
+    quick: bool = False,
+    full: bool = False,
+) -> list[BenchCase]:
+    """The canonical E1–E4 case list.
+
+    Parameters
+    ----------
+    seed:
+        Base seed; each case derives its own from it deterministically.
+    experiments:
+        Subset of :data:`EXPERIMENTS` to include.
+    quick:
+        CI-smoke sizing: a handful of small-n, short-horizon cases.
+    full:
+        Also include the heaviest large-n rows (E3 census at n = 128).
+    """
+    unknown = set(experiments) - set(EXPERIMENTS)
+    if unknown:
+        raise ValueError(f"unknown experiments {sorted(unknown)}; "
+                         f"known: {EXPERIMENTS}")
+    cases: list[BenchCase] = []
+
+    if "e1" in experiments:
+        algorithms = (("all-timely", ), ("comm-efficient", )) if quick else (
+            ("all-timely", ), ("source", ), ("comm-efficient", ), ("f-source", ))
+        sizes = (3, 4) if quick else (3, 5, 8, 12)
+        seeds = (seed,) if quick else (seed, seed + 1)
+        for (algorithm,) in algorithms:
+            for n in sizes:
+                for case_seed in seeds:
+                    cases.append(BenchCase(
+                        case_id=f"e1/{algorithm}/n={n}/seed={case_seed}",
+                        experiment="e1",
+                        params={"algorithm": algorithm, "n": n,
+                                "seed": case_seed}))
+
+    if "e2" in experiments:
+        combos: list[tuple[str, int, float]] = (
+            [("comm-efficient", 6, 90.0)] if quick else
+            [("all-timely", 8, 120.0), ("source", 8, 120.0),
+             ("comm-efficient", 8, 120.0), ("comm-efficient", 32, 240.0)])
+        for algorithm, n, horizon in combos:
+            cases.append(BenchCase(
+                case_id=f"e2/{algorithm}/n={n}",
+                experiment="e2",
+                params={"algorithm": algorithm, "n": n, "seed": seed,
+                        "horizon": horizon}))
+
+    if "e3" in experiments:
+        combos_e3: list[tuple[str, str, int]] = []
+        if quick:
+            combos_e3 = [("all-timely", "all-et", 4),
+                         ("comm-efficient", "source", 4)]
+        else:
+            for algorithm, system in (("all-timely", "all-et"),
+                                      ("source", "source"),
+                                      ("comm-efficient", "source"),
+                                      ("f-source", "f-source")):
+                for n in (4, 8, 16):
+                    combos_e3.append((algorithm, system, n))
+            combos_e3 += [("source", "source", 32),
+                          ("comm-efficient", "source", 32),
+                          ("comm-efficient", "source", 64)]
+            if full:
+                combos_e3.append(("comm-efficient", "source", 128))
+        for algorithm, system, n in combos_e3:
+            cases.append(BenchCase(
+                case_id=f"e3/{algorithm}/n={n}",
+                experiment="e3",
+                params={"algorithm": algorithm, "system": system, "n": n,
+                        "seed": seed}))
+
+    if "e4" in experiments:
+        etas = (0.5,) if quick else (0.25, 0.5, 1.0, 2.0)
+        seeds = (seed,) if quick else (seed, seed + 1)
+        for eta in etas:
+            for case_seed in seeds:
+                cases.append(BenchCase(
+                    case_id=f"e4/eta={eta:g}/seed={case_seed}",
+                    experiment="e4",
+                    params={"eta": eta, "seed": case_seed}))
+
+    return cases
+
+
+# ----------------------------------------------------------------------
+# Per-experiment runners (top-level so they pickle under spawn)
+# ----------------------------------------------------------------------
+
+def _run_e1(algorithm: str, n: int, seed: int) -> tuple[bool, dict, Any]:
+    source = n // 2
+    if algorithm == "all-timely":
+        scenario = OmegaScenario(algorithm=algorithm, n=n, system="all-et",
+                                 seed=seed, horizon=300.0, timings=_TIMINGS)
+    elif algorithm == "f-source":
+        scenario = OmegaScenario(algorithm=algorithm, n=n, system="f-source",
+                                 source=source, targets=(0, n - 1), seed=seed,
+                                 horizon=600.0, timings=_TIMINGS)
+    else:
+        scenario = OmegaScenario(algorithm=algorithm, n=n, system="source",
+                                 source=source, seed=seed, horizon=300.0,
+                                 timings=_TIMINGS)
+    outcome = scenario.run()
+    details = {
+        "omega_holds": outcome.stabilized,
+        "stabilization_time_s": outcome.report.stabilization_time,
+        "final_leader": outcome.report.final_leader,
+    }
+    return outcome.stabilized, details, outcome.cluster
+
+
+def _run_e2(algorithm: str, n: int, seed: int,
+            horizon: float) -> tuple[bool, dict, Any]:
+    system = "all-et" if algorithm == "all-timely" else "source"
+    outcome = OmegaScenario(algorithm=algorithm, n=n, system=system,
+                            source=n // 2, seed=seed, horizon=horizon,
+                            timings=_TIMINGS).run()
+    metrics = outcome.cluster.metrics
+    window = 10.0
+    senders = len(metrics.senders_between(horizon - window, horizon - 0.001))
+    messages = metrics.messages_between(horizon - window, horizon - 0.001)
+    expected = 1 if algorithm == "comm-efficient" else n
+    ok = outcome.stabilized and senders == expected
+    details = {
+        "senders_final_window": senders,
+        "messages_final_window": messages,
+        "expected_senders": expected,
+        "total_sent": metrics.total_sent,
+    }
+    return ok, details, outcome.cluster
+
+
+def _run_e3(algorithm: str, system: str, n: int,
+            seed: int) -> tuple[bool, dict, Any]:
+    outcome = OmegaScenario(
+        algorithm=algorithm, n=n, system=system, source=1,
+        targets=(0, 2) if system == "f-source" else (),
+        seed=seed, horizon=_census_horizon(n), ce_window=20.0,
+        timings=_TIMINGS).run()
+    active = len(outcome.comm.links)
+    if algorithm == "comm-efficient":
+        ok = active == n - 1 and outcome.communication_efficient
+    else:
+        ok = active > n - 1
+    details = {
+        "links_active_final_window": active,
+        "ce_target": n - 1,
+        "full_mesh": n * (n - 1),
+        "communication_efficient": outcome.communication_efficient,
+    }
+    return ok, details, outcome.cluster
+
+
+def _run_e4(eta: float, seed: int) -> tuple[bool, dict, Any]:
+    n, crash_at = 6, 60.0
+    config = OmegaConfig(eta=eta, initial_timeout=4 * eta, growth_step=eta)
+    scenario = OmegaScenario(
+        algorithm="comm-efficient", n=n, system="multi-source",
+        sources=(1, 2), seed=seed, horizon=crash_at, timings=_TIMINGS,
+        config=config)
+    cluster = scenario.build()
+    cluster.start_all()
+    cluster.run_until(crash_at)
+    first = analyze_omega_run(cluster).final_leader
+    latency = None
+    if first is not None:
+        cluster.crash(first)
+        cluster.run_until(crash_at + 400.0)
+        report = analyze_omega_run(cluster)
+        if report.omega_holds and report.stabilization_time is not None:
+            latency = report.stabilization_time - crash_at
+    details = {
+        "crashed_leader": first,
+        "reelection_latency_s": latency,
+        "eta_s": eta,
+    }
+    return latency is not None, details, cluster
+
+
+_RUNNERS: dict[str, Callable[..., tuple[bool, dict, Any]]] = {
+    "e1": _run_e1,
+    "e2": _run_e2,
+    "e3": _run_e3,
+    "e4": _run_e4,
+}
+
+
+def run_case(case: BenchCase) -> dict:
+    """Execute one case and return its result record (see module docstring).
+
+    Everything outside the ``timing`` block is deterministic in
+    ``(case.experiment, case.params)``.
+    """
+    started = time.perf_counter()
+    ok, details, cluster = _RUNNERS[case.experiment](**case.params)
+    wall = time.perf_counter() - started
+    events = cluster.sim.events_executed
+    sim_time = cluster.sim.now
+    return {
+        "case_id": case.case_id,
+        "experiment": case.experiment,
+        "params": dict(case.params),
+        "ok": bool(ok),
+        "result": details,
+        "events": events,
+        "sim_time_s": sim_time,
+        "timing": {
+            "wall_s": wall,
+            "events_per_s": events / wall if wall > 0 else None,
+            "sim_s_per_wall_s": sim_time / wall if wall > 0 else None,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Fan-out
+# ----------------------------------------------------------------------
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # fork is the fast path on Linux; spawn keeps macOS/Windows working
+    # (runners and BenchCase are all top-level, so both pickle fine).
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def run_suite(cases: Sequence[BenchCase], jobs: int = 1) -> list[dict]:
+    """Run ``cases``, fanning out over ``jobs`` worker processes.
+
+    Results are returned in the canonical order of ``cases`` regardless
+    of completion order, so the report is byte-identical (modulo wall
+    times) at any parallelism level.  ``jobs <= 1`` runs inline, which
+    is also the mode workers themselves use.
+    """
+    if jobs <= 1 or len(cases) <= 1:
+        return [run_case(case) for case in cases]
+    with _pool_context().Pool(processes=min(jobs, len(cases))) as pool:
+        unordered = pool.imap_unordered(run_case, cases, chunksize=1)
+        by_id = {result["case_id"]: result for result in unordered}
+    return [by_id[case.case_id] for case in cases]
+
+
+# ----------------------------------------------------------------------
+# Report
+# ----------------------------------------------------------------------
+
+def build_report(results: Iterable[dict], *, seed: int, jobs: int,
+                 suite: str, wall_s: float | None = None) -> dict:
+    """Assemble the versioned report around per-case results."""
+    results = list(results)
+    report = {
+        "schema": SCHEMA_VERSION,
+        "suite": suite,
+        "seed": seed,
+        "cases": results,
+        "summary": {
+            "cases": len(results),
+            "ok": sum(1 for r in results if r["ok"]),
+            "failed": sum(1 for r in results if not r["ok"]),
+            "events": sum(r["events"] for r in results),
+            "sim_time_s": sum(r["sim_time_s"] for r in results),
+        },
+        "meta": {
+            "created_utc": _datetime.datetime.now(
+                _datetime.timezone.utc).isoformat(),
+            "jobs": jobs,
+            "wall_s": wall_s,
+            "host": platform.node(),
+            "platform": platform.platform(),
+            "python": sys.version.split()[0],
+            "cpu_count": os.cpu_count(),
+        },
+    }
+    return report
+
+
+def strip_nondeterministic(report: dict) -> dict:
+    """The deterministic core of a report: drop ``meta`` and ``timing``.
+
+    Two reports of the same suite and seed must compare equal under this
+    projection at any ``--jobs`` level — the determinism regression test
+    and CI's verdict-regression check both rely on it.
+    """
+    core = {key: value for key, value in report.items() if key != "meta"}
+    core["cases"] = [
+        {key: value for key, value in case.items() if key != "timing"}
+        for case in report["cases"]
+    ]
+    return core
+
+
+def report_to_json(report: dict) -> str:
+    """Canonical JSON rendering (sorted keys, stable float repr)."""
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+def default_output_name(today: _datetime.date | None = None) -> str:
+    """``BENCH_<YYYY-MM-DD>.json`` — one file per day of the trajectory."""
+    day = today if today is not None else _datetime.date.today()
+    return f"BENCH_{day.isoformat()}.json"

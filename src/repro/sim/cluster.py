@@ -30,6 +30,12 @@ class Cluster:
 
     Build one with :meth:`build`; construct processes via the factory so
     the cluster stays agnostic of which protocol it hosts.
+
+    Determinism: a cluster is deterministic in its build arguments — the
+    same ``(n, factory, links, seed)`` and the same sequence of
+    operations (``run_until``, ``crash``, ...) replay the identical run,
+    on any machine, in any worker process.  All times accepted and
+    reported by cluster methods are **seconds of simulated time**.
     """
 
     def __init__(self, sim: Simulation, network: Network,
@@ -141,11 +147,11 @@ class Cluster:
                 process.start()
 
     def run_until(self, deadline: float) -> None:
-        """Advance the simulated clock to ``deadline``."""
+        """Advance the simulated clock to ``deadline`` (simulated seconds)."""
         self.sim.run_until(deadline)
 
     def run_for(self, duration: float) -> None:
-        """Advance the simulated clock by ``duration``."""
+        """Advance the simulated clock by ``duration`` simulated seconds."""
         self.sim.run_for(duration)
 
     def crash(self, pid: int) -> None:

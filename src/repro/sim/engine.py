@@ -8,7 +8,24 @@ Determinism
 -----------
 Runs are bit-for-bit reproducible: the heap is ordered by ``(time, seq)``
 (``seq`` is the insertion counter), and all randomness must come from the
-simulation's :class:`~repro.sim.rng.RngFabric`.
+simulation's :class:`~repro.sim.rng.RngFabric`.  Wall-clock time never
+enters the kernel; the same seed and the same schedule of calls produce
+the same interleaving on every machine and at every parallelism level.
+
+Units
+-----
+All times (``now``, ``call_at`` deadlines, ``call_after`` delays, probe
+periods) are **seconds of simulated time** as floats.  Wall-clock seconds
+appear nowhere in this module.
+
+Hot path
+--------
+The heap stores ``(time, seq, event)`` tuples so ordering is decided by
+C-level tuple comparison (``seq`` is unique, so the event object itself
+is never compared).  Cancellation tombstones events in O(1) and the
+engine drops tombstones when they surface; a compaction sweep rebuilds
+the heap when tombstones outnumber live events, so a workload that
+constantly resets timers cannot grow the heap without bound.
 
 Typical use::
 
@@ -27,6 +44,12 @@ from repro.sim.rng import RngFabric
 
 __all__ = ["Simulation", "SimulationError"]
 
+# Compaction policy: sweep the heap when at least this many tombstones
+# have accumulated *and* they make up at least half of the heap.  The
+# sweep is O(heap); chaining it to cancellations keeps it amortized
+# O(log n) per cancel while bounding heap memory to 2x the live events.
+_COMPACT_MIN_TOMBSTONES = 64
+
 
 class SimulationError(RuntimeError):
     """Raised on kernel misuse (e.g. scheduling in the past)."""
@@ -39,14 +62,19 @@ class Simulation:
     ----------
     seed:
         Root seed of the run's random fabric (see :class:`RngFabric`).
+        Two simulations built with the same seed and driven by the same
+        calls execute identical event interleavings.
     """
 
     def __init__(self, seed: int = 0) -> None:
         self._now = 0.0
         self._seq = 0
-        self._heap: list[ScheduledEvent] = []
+        # Heap entries are (time, seq, ScheduledEvent); seq is unique so
+        # tuple comparison never reaches the event object.
+        self._heap: list[tuple[float, int, ScheduledEvent]] = []
+        self._tombstones = 0
+        self._executed = 0
         self._rng = RngFabric(seed)
-        self._probes: list[tuple[float, Callable[[float], None]]] = []
 
     # ------------------------------------------------------------------
     # Clock and randomness
@@ -54,42 +82,70 @@ class Simulation:
 
     @property
     def now(self) -> float:
-        """Current simulated time."""
+        """Current simulated time, in seconds since the run started."""
         return self._now
 
     @property
     def rng(self) -> RngFabric:
-        """The run's random fabric."""
+        """The run's random fabric — the only legitimate randomness source."""
         return self._rng
+
+    @property
+    def events_executed(self) -> int:
+        """Total events run so far; the benchmark throughput denominator."""
+        return self._executed
 
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
 
     def call_at(self, time: float, action: Callable[[], None]) -> EventHandle:
-        """Schedule ``action`` to run at absolute simulated ``time``.
+        """Schedule ``action`` to run at absolute simulated ``time`` (seconds).
 
         Scheduling strictly in the past is a programming error; scheduling
         at exactly ``now`` is allowed and runs after currently queued
-        events for ``now``.
+        events for ``now``.  Returns a handle whose ``cancel()`` is O(1).
         """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self._now}"
             )
-        event = ScheduledEvent(time, self._seq, action)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = ScheduledEvent(time, seq, action)
+        heapq.heappush(self._heap, (time, seq, event))
+        return EventHandle(event, self)
 
     def call_after(self, delay: float, action: Callable[[], None]) -> EventHandle:
-        """Schedule ``action`` to run ``delay`` time units from now."""
+        """Schedule ``action`` to run ``delay`` simulated seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         return self.call_at(self._now + delay, action)
 
+    def post_at(self, time: float, action: Callable[[], None]) -> None:
+        """Schedule ``action`` at ``time`` without creating a handle.
+
+        Fire-and-forget fast path for events that are never cancelled
+        (message deliveries, probe re-arms).  Identical ordering semantics
+        to :meth:`call_at`; it only skips the :class:`EventHandle`
+        allocation, which is measurable at millions of events.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, seq, ScheduledEvent(time, seq, action)))
+
+    def post_after(self, delay: float, action: Callable[[], None]) -> None:
+        """Handle-free :meth:`call_after`; see :meth:`post_at`."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.post_at(self._now + delay, action)
+
     def add_probe(self, period: float, probe: Callable[[float], None]) -> None:
-        """Run ``probe(now)`` every ``period`` time units, forever.
+        """Run ``probe(now)`` every ``period`` simulated seconds, forever.
 
         Probes are how observers (checkers, metric samplers) watch the
         system evolve without participating in it.  The first invocation
@@ -100,21 +156,25 @@ class Simulation:
 
         def fire() -> None:
             probe(self._now)
-            self.call_after(period, fire)
+            self.post_after(period, fire)
 
-        self.call_after(period, fire)
+        self.post_after(period, fire)
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
 
     def step(self) -> bool:
-        """Run the single next event.  Returns False if the heap is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        """Run the single next live event.  Returns False if none is queued."""
+        heap = self._heap
+        while heap:
+            time, _seq, event = heapq.heappop(heap)
             if event.cancelled:
+                self._tombstones -= 1
                 continue
-            self._now = event.time
+            self._now = time
+            self._executed += 1
+            event.fired = True
             event.action()
             return True
         return False
@@ -122,23 +182,29 @@ class Simulation:
     def run_until(self, deadline: float) -> None:
         """Run all events with ``time <= deadline``; leave ``now == deadline``.
 
-        Events scheduled exactly at the deadline *do* run.
+        Events scheduled exactly at the deadline *do* run.  ``deadline``
+        is absolute simulated seconds.
         """
-        while self._heap:
-            event = self._heap[0]
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            time, _seq, event = heap[0]
             if event.cancelled:
-                heapq.heappop(self._heap)
+                pop(heap)
+                self._tombstones -= 1
                 continue
-            if event.time > deadline:
+            if time > deadline:
                 break
-            heapq.heappop(self._heap)
-            self._now = event.time
+            pop(heap)
+            self._now = time
+            self._executed += 1
+            event.fired = True
             event.action()
         if deadline > self._now:
             self._now = deadline
 
     def run_for(self, duration: float) -> None:
-        """Run for ``duration`` simulated time units from now."""
+        """Run for ``duration`` simulated seconds from now."""
         self.run_until(self._now + duration)
 
     def drain(self, max_events: int = 1_000_000) -> int:
@@ -156,12 +222,28 @@ class Simulation:
         return count
 
     def pending(self) -> int:
-        """Number of queued (possibly cancelled) events; for diagnostics."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of queued live events; O(1) thanks to tombstone accounting."""
+        return len(self._heap) - self._tombstones
 
     def pending_times(self) -> Iterable[float]:
         """Times of queued live events, unsorted; for diagnostics."""
-        return (event.time for event in self._heap if not event.cancelled)
+        return (entry[0] for entry in self._heap if not entry[2].cancelled)
+
+    # ------------------------------------------------------------------
+    # Tombstone bookkeeping (called by EventHandle.cancel)
+    # ------------------------------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        self._tombstones += 1
+        tombstones = self._tombstones
+        heap = self._heap
+        if (tombstones >= _COMPACT_MIN_TOMBSTONES
+                and tombstones * 2 >= len(heap)):
+            # In-place (the run loops hold a reference to this list, and
+            # cancellation can happen from inside a running event).
+            heap[:] = [entry for entry in heap if not entry[2].cancelled]
+            heapq.heapify(heap)
+            self._tombstones = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Simulation(now={self._now:.3f}, pending={self.pending()})"

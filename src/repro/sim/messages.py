@@ -25,7 +25,7 @@ from typing import Hashable
 __all__ = ["Message"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """Base class for everything sent through a :class:`~repro.sim.network.Network`.
 

@@ -445,6 +445,14 @@ class FaultPlan:
     :meth:`crashes_at`) and generalizes it to the full event zoo.  Plans
     are immutable-by-convention data: printable, serializable through
     :meth:`to_repro`, and comparable.
+
+    Determinism: a plan is pure data — all event times and durations are
+    **seconds of simulated time**, and :meth:`schedule` only registers
+    events on the target's kernel, so the same plan on the same cluster
+    seed replays the identical fault history (that is what makes the
+    repro strings replayable).  Randomness exists only in
+    :class:`Nemesis` *sampling* of plans, which draws from an explicit
+    seeded generator, never from the plan itself.
     """
 
     def __init__(self, events: Iterable[FaultEvent] = ()) -> None:

@@ -8,10 +8,22 @@ the ordered pair, schedules the delivery event, and feeds the observers.
 Crash semantics follow the crash-stop model: a message addressed to a
 process that is down *at delivery time* is silently dropped (recorded as
 ``dst_crashed``), and a crashed process can never send.
+
+Hot path
+--------
+``send`` is the busiest function in the repository (every heartbeat of
+every process crosses it), so it avoids re-deriving anything per call:
+the ``(policy, rng_stream)`` pair of each ordered link is cached in a
+route table (invalidated by :meth:`set_link`/:meth:`perturb_link`), the
+sorted pid tuple used by ``broadcast`` is cached at registration time,
+and trace records are only *constructed* when the trace is enabled, so
+non-traced runs pay nothing for tracing.
 """
 
 from __future__ import annotations
 
+import random
+from functools import partial
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.sim.engine import Simulation
@@ -32,6 +44,12 @@ class NetworkError(RuntimeError):
 
 class Network:
     """Message fabric between registered processes.
+
+    Determinism: given the same :class:`Simulation` seed, the same
+    registrations and the same sequence of ``send`` calls, deliveries,
+    drops and delays are bit-for-bit identical — each ordered link draws
+    from its own named RNG stream, so runs do not depend on dict order or
+    wall clock.  All times are seconds of simulated time.
 
     Parameters
     ----------
@@ -61,6 +79,10 @@ class Network:
         self._processes: dict[int, "Process"] = {}
         self._links: dict[tuple[int, int], LinkPolicy] = {}
         self._partitions: list[tuple[float, float, tuple[frozenset[int], ...]]] = []
+        # Hot-path caches; see the module docstring.
+        self._pid_tuple: tuple[int, ...] = ()
+        self._routes: dict[tuple[int, int],
+                           tuple[LinkPolicy, random.Random]] = {}
 
     # ------------------------------------------------------------------
     # Topology
@@ -71,6 +93,7 @@ class Network:
         if process.pid in self._processes:
             raise NetworkError(f"duplicate pid {process.pid}")
         self._processes[process.pid] = process
+        self._pid_tuple = tuple(sorted(self._processes))
 
     def process(self, pid: int) -> "Process":
         """The registered process with this pid."""
@@ -82,13 +105,14 @@ class Network:
     @property
     def pids(self) -> list[int]:
         """All registered pids, sorted."""
-        return sorted(self._processes)
+        return list(self._pid_tuple)
 
     def set_link(self, src: int, dst: int, policy: LinkPolicy) -> None:
         """Install the policy for the ordered pair ``src -> dst``."""
         if src == dst:
             raise NetworkError("no self-links in the model")
         self._links[(src, dst)] = policy
+        self._routes.pop((src, dst), None)
 
     def link(self, src: int, dst: int) -> LinkPolicy:
         """The policy for ``src -> dst`` (instantiating the default lazily)."""
@@ -97,6 +121,21 @@ class Network:
             policy = self._default_link()
             self._links[(src, dst)] = policy
         return policy
+
+    def _route(self, src: int, dst: int) -> tuple[LinkPolicy, random.Random]:
+        """Cached ``(policy, rng_stream)`` for the ordered pair.
+
+        The RNG stream object is owned by the fabric and continues its
+        sequence across cache invalidations, so caching it here changes
+        nothing about determinism.
+        """
+        key = (src, dst)
+        route = self._routes.get(key)
+        if route is None:
+            route = (self.link(src, dst),
+                     self.sim.rng.stream("link", src, dst))
+            self._routes[key] = route
+        return route
 
     def perturb_link(self, src: int, dst: int, window: DegradedWindow) -> None:
         """Overlay a :class:`DegradedWindow` on the ``src -> dst`` policy.
@@ -115,6 +154,7 @@ class Network:
         if not isinstance(policy, PerturbedLink):
             policy = PerturbedLink(policy)
             self._links[(src, dst)] = policy
+            self._routes.pop((src, dst), None)
         policy.add_window(window)
 
     # ------------------------------------------------------------------
@@ -169,42 +209,54 @@ class Network:
         """Send ``message`` from ``src`` to ``dst`` through their link."""
         if src == dst:
             raise NetworkError("processes do not send to themselves")
-        sender = self.process(src)
-        self.process(dst)  # validate dst exists
+        processes = self._processes
+        sender = processes.get(src)
+        if sender is None:
+            raise NetworkError(f"unknown pid {src}")
+        if dst not in processes:
+            raise NetworkError(f"unknown pid {dst}")
+        now = self.sim.now
+        kind = message.kind
+        trace = self.trace
+        traced = trace.enabled
         if sender.crashed:
             # Crash-stop: a dead process cannot emit.  Reaching this point
             # indicates a protocol bug (e.g. a timer surviving a crash),
             # so it is recorded loudly rather than ignored.
-            self.trace.record(DropRecord(self.sim.now, src, dst,
-                                         message.kind, "src_crashed"))
+            if traced:
+                trace.record(DropRecord(now, src, dst, kind, "src_crashed"))
             raise NetworkError(f"crashed process {src} attempted to send")
 
-        now = self.sim.now
-        self.trace.record(SendRecord(now, src, dst, message.kind))
-        self.metrics.on_send(now, src, dst, message.kind)
+        if traced:
+            trace.record(SendRecord(now, src, dst, kind))
+        self.metrics.on_send(now, src, dst, kind)
 
         if self._partitions and self.partitioned(src, dst, now):
-            self.trace.record(DropRecord(now, src, dst, message.kind,
-                                         "partition"))
-            self.metrics.on_drop(now, src, dst, message.kind, "partition")
+            if traced:
+                trace.record(DropRecord(now, src, dst, kind, "partition"))
+            self.metrics.on_drop(now, src, dst, kind, "partition")
             return
 
-        rng = self.sim.rng.stream("link", src, dst)
-        delays = self.link(src, dst).plan_all(message, now, rng)
+        policy, rng = self._route(src, dst)
+        delays = policy.plan_all(message, now, rng)
         if not delays:
-            self.trace.record(DropRecord(now, src, dst, message.kind, "link"))
-            self.metrics.on_drop(now, src, dst, message.kind, "link")
+            if traced:
+                trace.record(DropRecord(now, src, dst, kind, "link"))
+            self.metrics.on_drop(now, src, dst, kind, "link")
             return
         # Base links deliver one copy; perturbed links may duplicate.
+        # Deliveries are never cancelled, so use the handle-free path.
+        post_after = self.sim.post_after
+        deliver = self._deliver
         for delay in delays:
-            self.sim.call_after(
-                delay, lambda: self._deliver(src, dst, message, now))
+            post_after(delay, partial(deliver, src, dst, message, now))
 
     def broadcast(self, src: int, message: Message) -> None:
         """Send ``message`` from ``src`` to every other registered process."""
-        for dst in self.pids:
+        send = self.send
+        for dst in self._pid_tuple:
             if dst != src:
-                self.send(src, dst, message)
+                send(src, dst, message)
 
     def _deliver(self, src: int, dst: int, message: Message, sent_at: float) -> None:
         receiver = self._processes[dst]
@@ -213,10 +265,14 @@ class Network:
             # Crash-stop processes receive nothing; a not-yet-started
             # process has no open endpoint either (staggered boots).
             reason = "dst_crashed" if receiver.crashed else "dst_not_started"
-            self.trace.record(DropRecord(now, src, dst, message.kind, reason))
+            if self.trace.enabled:
+                self.trace.record(
+                    DropRecord(now, src, dst, message.kind, reason))
             self.metrics.on_drop(now, src, dst, message.kind, reason)
             return
-        self.trace.record(DeliverRecord(now, src, dst, message.kind, sent_at))
+        if self.trace.enabled:
+            self.trace.record(
+                DeliverRecord(now, src, dst, message.kind, sent_at))
         self.metrics.on_deliver(now, src, dst, message.kind)
         receiver.deliver(message)
 

@@ -39,6 +39,7 @@ this literature).
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Hashable
 
 from repro.sim.engine import Simulation
@@ -178,7 +179,7 @@ class Process:
         if self._crashed:
             return
         self.cancel_timer(key)
-        self._timers[key] = self.sim.call_after(delay, lambda: self._fire(key))
+        self._timers[key] = self.sim.call_after(delay, partial(self._fire, key))
 
     def set_periodic(self, key: Hashable, period: float) -> None:
         """Arm the timer ``key`` to fire every ``period`` units until cancelled."""
@@ -188,7 +189,7 @@ class Process:
             return
         self.cancel_timer(key)  # also clears any previous period for the key
         self._periods[key] = period
-        self._timers[key] = self.sim.call_after(period, lambda: self._fire(key))
+        self._timers[key] = self.sim.call_after(period, partial(self._fire, key))
 
     def cancel_timer(self, key: Hashable) -> None:
         """Disarm timer ``key`` (and stop its periodic cycle).  Idempotent."""
@@ -208,7 +209,7 @@ class Process:
         period = self._periods.get(key)
         if period is not None:
             # Re-arm before dispatch so on_timer may cancel to stop the cycle.
-            self._timers[key] = self.sim.call_after(period, lambda: self._fire(key))
+            self._timers[key] = self.sim.call_after(period, partial(self._fire, key))
             if self._paused:  # frozen: the cycle survives, the tick is lost
                 return
         elif self._paused:  # one-shot expiring under a pause fires at resume

@@ -22,7 +22,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SendRecord:
     """A message handed to the network."""
 
@@ -32,7 +32,7 @@ class SendRecord:
     kind: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeliverRecord:
     """A message delivered to its destination's handler."""
 
@@ -48,7 +48,7 @@ class DeliverRecord:
         return self.time - self.sent_at
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DropRecord:
     """A message that will never be delivered.
 
@@ -66,7 +66,7 @@ class DropRecord:
     reason: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CrashRecord:
     """A process crash."""
 

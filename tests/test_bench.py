@@ -1,0 +1,126 @@
+"""Tests for the parallel bench runner: determinism, schema, CLI wiring."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.harness import bench
+
+
+QUICK_E1 = bench.default_suite(seed=7, experiments=("e1",), quick=True)
+
+
+class TestSuiteConstruction:
+    def test_case_ids_are_unique_and_canonical(self) -> None:
+        cases = bench.default_suite(seed=7)
+        ids = [case.case_id for case in cases]
+        assert len(ids) == len(set(ids))
+        # Same seed, same suite: the canonical order is reproducible.
+        assert ids == [c.case_id for c in bench.default_suite(seed=7)]
+
+    def test_experiment_subset(self) -> None:
+        cases = bench.default_suite(seed=7, experiments=("e2", "e4"))
+        assert {case.experiment for case in cases} == {"e2", "e4"}
+
+    def test_unknown_experiment_rejected(self) -> None:
+        with pytest.raises(ValueError, match="unknown experiments"):
+            bench.default_suite(seed=7, experiments=("e1", "e9"))
+
+    def test_full_adds_the_n128_census(self) -> None:
+        base = {c.case_id for c in bench.default_suite(seed=7)}
+        full = {c.case_id for c in bench.default_suite(seed=7, full=True)}
+        assert full - base == {"e3/comm-efficient/n=128"}
+
+    def test_seed_travels_with_each_case(self) -> None:
+        for case in bench.default_suite(seed=13):
+            assert case.params["seed"] in (13, 14)
+
+
+class TestDeterminismAcrossJobs:
+    def test_jobs_1_and_jobs_4_are_byte_identical_modulo_wall_time(
+            self, tmp_path) -> None:
+        """The ISSUE's headline regression: `repro bench --seed 7 --jobs 1`
+        and `--jobs 4` must emit byte-identical JSON once the wall-time
+        fields (per-case `timing`, top-level `meta`) are stripped."""
+        out1 = tmp_path / "jobs1.json"
+        out4 = tmp_path / "jobs4.json"
+        argv_base = ["bench", "--seed", "7", "--quick",
+                     "--experiments", "e1,e4"]
+        assert main([*argv_base, "--jobs", "1", "--out", str(out1)]) == 0
+        assert main([*argv_base, "--jobs", "4", "--out", str(out4)]) == 0
+        report1 = json.loads(out1.read_text())
+        report4 = json.loads(out4.read_text())
+        core1 = bench.report_to_json(bench.strip_nondeterministic(report1))
+        core4 = bench.report_to_json(bench.strip_nondeterministic(report4))
+        assert core1 == core4
+        # ...and the stripped projections really dropped the wall fields.
+        assert "meta" not in json.loads(core1)
+        assert all("timing" not in case
+                   for case in json.loads(core1)["cases"])
+
+    def test_run_suite_merges_in_canonical_order(self) -> None:
+        results = bench.run_suite(QUICK_E1, jobs=2)
+        assert [r["case_id"] for r in results] == \
+            [c.case_id for c in QUICK_E1]
+
+
+class TestReportSchema:
+    @pytest.fixture(scope="class")
+    def report(self) -> dict:
+        results = bench.run_suite(QUICK_E1[:2], jobs=1)
+        return bench.build_report(results, seed=7, jobs=1, suite="quick",
+                                  wall_s=0.5)
+
+    def test_schema_version(self, report: dict) -> None:
+        assert report["schema"] == bench.SCHEMA_VERSION == "repro-bench/v1"
+
+    def test_top_level_fields(self, report: dict) -> None:
+        assert set(report) == {"schema", "suite", "seed", "cases",
+                               "summary", "meta"}
+        assert set(report["summary"]) == {"cases", "ok", "failed",
+                                          "events", "sim_time_s"}
+        for key in ("created_utc", "jobs", "wall_s", "host", "platform",
+                    "python", "cpu_count"):
+            assert key in report["meta"]
+
+    def test_case_fields_and_types(self, report: dict) -> None:
+        for case in report["cases"]:
+            assert set(case) == {"case_id", "experiment", "params", "ok",
+                                 "result", "events", "sim_time_s", "timing"}
+            assert isinstance(case["case_id"], str)
+            assert case["experiment"] in bench.EXPERIMENTS
+            assert isinstance(case["ok"], bool)
+            assert isinstance(case["events"], int) and case["events"] > 0
+            assert isinstance(case["sim_time_s"], float)
+            assert set(case["timing"]) == {"wall_s", "events_per_s",
+                                           "sim_s_per_wall_s"}
+
+    def test_report_is_valid_sorted_json(self, report: dict) -> None:
+        text = bench.report_to_json(report)
+        assert json.loads(text) == report
+        assert text == bench.report_to_json(json.loads(text))
+
+    def test_summary_consistent_with_cases(self, report: dict) -> None:
+        summary = report["summary"]
+        assert summary["cases"] == len(report["cases"])
+        assert summary["ok"] + summary["failed"] == summary["cases"]
+        assert summary["events"] == sum(c["events"] for c in report["cases"])
+
+
+class TestCli:
+    def test_no_out_writes_nothing(self, tmp_path, monkeypatch,
+                                   capsys) -> None:
+        monkeypatch.chdir(tmp_path)
+        code = main(["bench", "--quick", "--experiments", "e2",
+                     "--jobs", "1", "--no-out"])
+        assert code == 0
+        assert list(tmp_path.iterdir()) == []
+        assert "cases ok" in capsys.readouterr().out
+
+    def test_default_output_name_is_dated(self) -> None:
+        import datetime
+        name = bench.default_output_name(datetime.date(2026, 8, 6))
+        assert name == "BENCH_2026-08-06.json"

@@ -160,6 +160,72 @@ class TestProbes:
         assert all(diff == 0.0 for diff in seen)
 
 
+class TestTombstones:
+    """EventHandle.cancel is O(1) tombstoning; semantics must not change."""
+
+    def test_cancel_releases_the_action_immediately(self, sim: Simulation) -> None:
+        import weakref
+
+        class Payload:
+            def __call__(self) -> None:  # pragma: no cover - never fires
+                raise AssertionError("cancelled event fired")
+
+        payload = Payload()
+        ref = weakref.ref(payload)
+        handle = sim.call_at(1.0, payload)
+        del payload
+        assert ref() is not None  # the heap keeps the action alive...
+        handle.cancel()
+        assert ref() is None  # ...until cancellation drops it
+
+    def test_mass_cancellation_compacts_the_heap(self, sim: Simulation) -> None:
+        handles = [sim.call_at(float(i + 1), lambda: None) for i in range(500)]
+        keeper = sim.call_at(1000.0, lambda: None)
+        for handle in handles:
+            handle.cancel()
+        # Tombstones must not linger: the compaction sweep runs once the
+        # cancelled events dominate, so the heap stays O(live events).
+        assert sim.pending() == 1
+        assert len(sim._heap) < 250
+        assert not keeper.cancelled
+
+    def test_cancel_after_fire_keeps_pending_accurate(self, sim: Simulation) -> None:
+        handle = sim.call_at(1.0, lambda: None)
+        sim.call_at(2.0, lambda: None)
+        sim.run_until(1.5)
+        handle.cancel()  # the event already ran; must not count as tombstone
+        assert sim.pending() == 1
+        sim.run_until(3.0)
+        assert sim.pending() == 0
+
+    def test_cancellation_during_compaction_window_preserves_order(
+            self, sim: Simulation) -> None:
+        fired: list[float] = []
+        for i in range(200):
+            handle = sim.call_at(float(i), lambda: None)
+            handle.cancel()
+        for t in (5.0, 1.0, 3.0):
+            sim.call_at(t, lambda t=t: fired.append(t))
+        sim.run_until(10.0)
+        assert fired == [1.0, 3.0, 5.0]
+
+    def test_events_executed_counts_only_live_events(self, sim: Simulation) -> None:
+        sim.call_at(1.0, lambda: None)
+        cancelled = sim.call_at(2.0, lambda: None)
+        cancelled.cancel()
+        sim.call_at(3.0, lambda: None)
+        sim.run_until(5.0)
+        assert sim.events_executed == 2
+
+    def test_post_after_orders_with_call_at(self, sim: Simulation) -> None:
+        order: list[str] = []
+        sim.call_at(1.0, lambda: order.append("handle"))
+        sim.post_at(1.0, lambda: order.append("posted"))
+        sim.post_after(1.0, lambda: order.append("posted-after"))
+        sim.run_until(2.0)
+        assert order == ["handle", "posted", "posted-after"]
+
+
 class TestDeterminism:
     def test_identical_runs_identical_interleavings(self) -> None:
         def run() -> list[tuple[float, int]]:

@@ -17,9 +17,19 @@ class TestOmegaAcrossSeeds:
     @given(seed=st.integers(min_value=0, max_value=10_000))
     @settings(max_examples=12, deadline=None)
     def test_comm_efficient_converges_and_is_efficient(self, seed: int) -> None:
-        outcome = OmegaScenario(
+        scenario = OmegaScenario(
             algorithm="comm-efficient", n=4, system="source", source=1,
-            seed=seed, horizon=120.0, timings=FAST).run()
+            seed=seed, horizon=120.0, timings=FAST)
+        outcome = scenario.run()
+        stab = outcome.report.stabilization_time
+        if stab is not None and stab > scenario.horizon - 2 * scenario.ce_window:
+            # Communication efficiency is an *eventual* property: a run
+            # that stabilizes this close to the horizon (seed 87 does, at
+            # t=103.85) still has pre-stabilization traffic inside the
+            # trailing census window.  Give it a longer quiet tail.
+            outcome = OmegaScenario(
+                algorithm="comm-efficient", n=4, system="source", source=1,
+                seed=seed, horizon=360.0, timings=FAST).run()
         assert outcome.stabilized
         assert outcome.communication_efficient
 
