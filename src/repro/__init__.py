@@ -26,11 +26,25 @@ The library has four layers:
     The experiment catalogue behind every benchmark, with scenario
     builders, statistics and table rendering.
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-claim-by-claim validation results.
+:mod:`repro.obs`
+    The observability layer: the :class:`Observer` protocol and its
+    fan-out :class:`ObserverHub` (every network dispatches sim events
+    through one), the shared :class:`Verdict` checker shape, the
+    per-link :class:`TimelinessInspector`, and the versioned
+    :class:`RunReport` behind ``python -m repro report``.
+
+See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+claim-by-claim validation results, and docs/OBSERVABILITY.md for the
+observer protocol and report schema.
+
+Deprecation policy: superseded entry points (currently the
+``Network(trace=..., metrics=...)`` keyword arguments, replaced by
+``Network(observers=...)``) keep working for one release but emit a
+``DeprecationWarning`` once per call site; the test suite escalates
+these warnings to errors so no in-repo code regresses onto them.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.consensus import (  # noqa: E402  (re-exports after docstring)
     ConsensusConfig,
@@ -53,6 +67,16 @@ from repro.core import (  # noqa: E402
     make_factory,
 )
 from repro.harness import OmegaOutcome, OmegaScenario, render_table  # noqa: E402
+from repro.obs import (  # noqa: E402
+    Observer,
+    ObserverHub,
+    RunReport,
+    TimelinessInspector,
+    Verdict,
+    capture,
+    scenario_report,
+    validate_report,
+)
 from repro.sim import (  # noqa: E402
     Cluster,
     CrashPlan,
@@ -87,6 +111,14 @@ __all__ = [
     "OmegaOutcome",
     "OmegaScenario",
     "render_table",
+    "Observer",
+    "ObserverHub",
+    "RunReport",
+    "TimelinessInspector",
+    "Verdict",
+    "capture",
+    "scenario_report",
+    "validate_report",
     "Cluster",
     "CrashPlan",
     "FaultPlan",

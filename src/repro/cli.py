@@ -18,6 +18,9 @@ Examples
     python -m repro soak --minutes 10
     python -m repro bench --jobs 4 --seed 7
     python -m repro bench --quick --jobs 2 --out bench-smoke.json
+    python -m repro report scenario --algorithm comm-efficient --n 6
+    python -m repro report bench --case-id e2/comm-efficient/n=8
+    python -m repro report soak --seed 7 --case 12 --out report.json
 
 Every command prints human-readable tables (the same renderer the
 benchmarks use) and exits non-zero if the run violated the property it
@@ -338,6 +341,61 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.harness import bench
+    from repro.obs import (
+        bench_case_report,
+        scenario_report,
+        soak_case_report,
+        validate_report,
+    )
+
+    started = time.perf_counter()
+    if args.target == "scenario":
+        timings = LinkTimings(gst=args.gst)
+        scenario = OmegaScenario(
+            algorithm=args.algorithm, n=args.n, system=args.system,
+            source=args.source, targets=_parse_targets(args.targets),
+            f=args.f, seed=args.seed, horizon=args.horizon,
+            ce_window=args.ce_window, timings=timings)
+        report = scenario_report(scenario)
+    elif args.target == "bench":
+        cases = bench.default_suite(seed=args.seed, quick=args.quick,
+                                    full=args.full)
+        by_id = {case.case_id: case for case in cases}
+        if args.case_id not in by_id:
+            listing = "\n  ".join(sorted(by_id))
+            raise SystemExit(f"unknown bench case {args.case_id!r}; "
+                             f"suite cases:\n  {listing}")
+        report = bench_case_report(by_id[args.case_id])
+    else:  # soak
+        from repro.harness.soak import sample_soak_case
+
+        if args.case < 0:
+            raise SystemExit(f"--case must be >= 0, got {args.case}")
+        report = soak_case_report(sample_soak_case(args.seed, args.case))
+    wall = time.perf_counter() - started
+
+    document = report.to_json()
+    problems = validate_report(document)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    print(report.render_text())
+    print(f"\nwall time: {wall:.2f}s"
+          + (f"   report written to {args.out}" if args.out else ""))
+    if problems:
+        print("\nschema problems:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    return 0
+
+
 def cmd_qos(args: argparse.Namespace) -> int:
     from repro.core import measure_qos
 
@@ -503,6 +561,45 @@ def build_parser() -> argparse.ArgumentParser:
                            help="print tables only, write no JSON")
     bench_cmd.set_defaults(handler=cmd_bench)
 
+    report = sub.add_parser(
+        "report", help="observability report (repro-report/v1 JSON + text) "
+                       "for a scenario, bench case, or soak case")
+    report_sub = report.add_subparsers(dest="target", required=True)
+
+    rscen = report_sub.add_parser(
+        "scenario", help="run one leader-election scenario and report it")
+    rscen.add_argument("--algorithm", default="comm-efficient",
+                       choices=sorted(OMEGA_ALGORITHMS))
+    rscen.add_argument("--system", default="source",
+                       choices=sorted(SYSTEM_NAMES))
+    rscen.add_argument("--n", type=int, default=5)
+    rscen.add_argument("--source", type=int, default=0)
+    rscen.add_argument("--targets", default="")
+    rscen.add_argument("--f", type=int, default=None)
+    rscen.add_argument("--seed", type=int, default=0)
+    rscen.add_argument("--horizon", type=float, default=150.0)
+    rscen.add_argument("--gst", type=float, default=5.0)
+    rscen.add_argument("--ce-window", type=float, default=20.0)
+    rscen.add_argument("--out", default="", help="also write JSON here")
+    rscen.set_defaults(handler=cmd_report)
+
+    rbench = report_sub.add_parser(
+        "bench", help="run one bench-suite case and report it")
+    rbench.add_argument("--case-id", required=True,
+                        metavar="ID", help="e.g. e2/comm-efficient/n=8")
+    rbench.add_argument("--seed", type=int, default=7)
+    rbench.add_argument("--quick", action="store_true")
+    rbench.add_argument("--full", action="store_true")
+    rbench.add_argument("--out", default="", help="also write JSON here")
+    rbench.set_defaults(handler=cmd_report)
+
+    rsoak = report_sub.add_parser(
+        "soak", help="replay one soak campaign and report it")
+    rsoak.add_argument("--seed", type=int, default=0)
+    rsoak.add_argument("--case", type=int, required=True, metavar="INDEX")
+    rsoak.add_argument("--out", default="", help="also write JSON here")
+    rsoak.set_defaults(handler=cmd_report)
+
     qos = sub.add_parser("qos", help="failure-detector QoS per algorithm")
     qos.add_argument("--n", type=int, default=6)
     qos.add_argument("--seed", type=int, default=1)
@@ -520,4 +617,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except FaultPlanError as error:
+        # Invalid fault plans (unknown pids, bad windows...) are user
+        # input errors, not crashes: exit cleanly, no traceback.
+        raise SystemExit(f"bad fault plan: {error}") from None

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Any, TYPE_CHECKING
 
 from repro.consensus.single import SingleDecreeConsensus
+from repro.obs.verdict import Verdict
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.consensus.node import ConsensusSystem
@@ -48,6 +49,31 @@ class SingleDecreeReport:
         if not self.all_correct_decided or not self.correct:
             return None
         return max(self.decision_times[pid] for pid in self.correct)
+
+    def verdict(self) -> Verdict:
+        """This report as the shared :class:`~repro.obs.verdict.Verdict`.
+
+        Ok iff agreement and validity hold *and* every correct process
+        decided (the finite-run termination analogue).
+        """
+        violations = []
+        if not self.agreement:
+            violations.append(
+                f"agreement violated: decisions {sorted(set(map(repr, self.decided.values())))}"
+            )
+        if not self.validity:
+            violations.append("validity violated: a decision was nobody's proposal")
+        if not self.all_correct_decided:
+            undecided = sorted(set(self.correct) - set(self.decided))
+            violations.append(f"correct processes never decided: {undecided}")
+        evidence = {
+            "correct": list(self.correct),
+            "decided": {pid: self.decided[pid] for pid in sorted(self.decided)},
+            "latest_decision": self.latest_decision,
+        }
+        if violations:
+            return Verdict.failed(*violations, **evidence)
+        return Verdict.passed(**evidence)
 
 
 def check_single_decree(system: "ConsensusSystem") -> SingleDecreeReport:
@@ -91,6 +117,25 @@ class LogReport:
         if not self.committed_by_pid:
             return 0
         return max(self.committed_by_pid.values())
+
+    def verdict(self) -> Verdict:
+        """This report as the shared :class:`~repro.obs.verdict.Verdict`.
+
+        Ok iff no pair of committed prefixes diverges and every committed
+        command was actually submitted.  Divergence strings become the
+        violations verbatim.
+        """
+        violations = list(self.divergences)
+        if not self.validity:
+            violations.append("validity violated: committed an unsubmitted command")
+        evidence = {
+            "correct": list(self.correct),
+            "committed_by_pid": dict(sorted(self.committed_by_pid.items())),
+            "max_committed": self.max_committed,
+        }
+        if violations:
+            return Verdict.failed(*violations, **evidence)
+        return Verdict.passed(**evidence)
 
 
 def check_log(system: "ConsensusSystem", submitted: set[Any]) -> LogReport:

@@ -184,8 +184,10 @@ class ConsensusSystem:
     @staticmethod
     def _network(sim: Simulation, links_factory: LinkMapFactory,
                  trace: bool, metrics_window: float) -> Network:
-        network = Network(sim, trace=TraceLog(enabled=trace),
-                          metrics=MetricsCollector(window=metrics_window))
+        network = Network(sim, observers=(
+            MetricsCollector(window=metrics_window),
+            *((TraceLog(enabled=True),) if trace else ()),
+        ))
         apply_links(network, links_factory())
         return network
 

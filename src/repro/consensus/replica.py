@@ -324,6 +324,7 @@ class LogReplica(Process):
             return
         self.log[instance] = value
         self.decision_times[instance] = self.now
+        self.network.hub.decide(self.now, self.pid, (instance, value))
         if value is not NOOP:
             self.committed_ids.add(value[0])
             self.pending.pop(value[0], None)

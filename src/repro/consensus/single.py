@@ -136,7 +136,9 @@ class SingleDecreeConsensus(Process):
         if self.leader_of() != self.pid:
             # Omega points elsewhere: abandon any in-flight ballot (the
             # acceptor state stays — that is what safety rests on).
-            self.phase = PHASE_IDLE
+            if self.phase != PHASE_IDLE:
+                self._end_phase_span("abandoned")
+                self.phase = PHASE_IDLE
             return
         if self.phase == PHASE_IDLE:
             self._start_ballot()
@@ -145,11 +147,22 @@ class SingleDecreeConsensus(Process):
         elif self.phase == PHASE_PROPOSE:
             self._send_proposals()
 
+    def _end_phase_span(self, detail: str) -> None:
+        """Close the open ballot-phase span, if any, on the observer hub."""
+        if self.phase == PHASE_PREPARE:
+            self.network.hub.span_end(self.now, self.pid, "ballot.prepare",
+                                      detail)
+        elif self.phase == PHASE_PROPOSE:
+            self.network.hub.span_end(self.now, self.pid, "ballot.propose",
+                                      detail)
+
     def _start_ballot(self) -> None:
         round_number = self._max_round_seen + 1
         self.ballot = Ballot(round_number, self.pid)
         self._max_round_seen = round_number
         self.phase = PHASE_PREPARE
+        self.network.hub.span_begin(self.now, self.pid, "ballot.prepare",
+                                    round_number)
         # Self-promise immediately.
         self.promised = max(self.promised, self.ballot)
         self._promises = {self.pid: self.accepted}
@@ -243,8 +256,11 @@ class SingleDecreeConsensus(Process):
             if reported is not None and (best is None or reported[0] > best[0]):
                 best = reported
         self.ballot_value = self.proposal if best is None else best[1]
+        self._end_phase_span("promised")
         self.phase = PHASE_PROPOSE
         assert self.ballot is not None
+        self.network.hub.span_begin(self.now, self.pid, "ballot.propose",
+                                    self.ballot.round)
         # Self-accept.
         self.promised = max(self.promised, self.ballot)
         self.accepted = (self.ballot, self.ballot_value)
@@ -268,6 +284,7 @@ class SingleDecreeConsensus(Process):
         if message.ballot == self.ballot and self.phase != PHASE_IDLE:
             # Outpaced: abandon; the next tick starts a higher ballot if
             # we still lead.
+            self._end_phase_span("nacked")
             self.phase = PHASE_IDLE
 
     def _observe_round(self, ballot: Ballot) -> None:
@@ -283,10 +300,12 @@ class SingleDecreeConsensus(Process):
 
     def _learn(self, value: Any) -> None:
         if self.decision is None:
+            self._end_phase_span("decided")
             self.decision = value
             self.decision_time = self.now
             self.phase = PHASE_IDLE
             self._decide_acks.add(self.pid)
+            self.network.hub.decide(self.now, self.pid, value)
         elif self.decision != value:  # pragma: no cover - would be a safety bug
             raise AssertionError(
                 f"process {self.pid} saw two different decisions: "

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.omega import OmegaProtocol
+from repro.obs.verdict import Verdict
 from repro.sim.cluster import Cluster
 
 __all__ = [
@@ -52,6 +53,31 @@ class OmegaRunReport:
     def total_changes(self) -> int:
         """Total leader flaps across correct processes."""
         return sum(self.changes_by_pid.values())
+
+    def verdict(self) -> Verdict:
+        """This report as the shared :class:`~repro.obs.verdict.Verdict`.
+
+        Ok iff the Omega property holds at the end of the run; violations
+        name the failed sub-property, evidence carries the raw figures.
+        """
+        violations = []
+        if not self.agreement:
+            violations.append(
+                f"correct processes disagree on the leader: {self.final_outputs}"
+            )
+        elif not self.leader_is_correct:
+            violations.append(
+                f"agreed leader {self.final_leader} is not a correct process"
+            )
+        evidence = {
+            "correct": list(self.correct),
+            "final_leader": self.final_leader,
+            "stabilization_time": self.stabilization_time,
+            "total_changes": self.total_changes,
+        }
+        if violations:
+            return Verdict.failed(*violations, **evidence)
+        return Verdict.passed(**evidence)
 
 
 @dataclass(frozen=True)

@@ -61,12 +61,27 @@ class OmegaProtocol(Process):
     # ------------------------------------------------------------------
 
     def _output(self, leader: int) -> None:
-        """Set the trusted leader, recording the change in the history."""
+        """Set the trusted leader, recording the change in the history.
+
+        Each change is also dispatched to the network's observer hub: a
+        ``leader_change`` event plus the end of the previous leadership
+        ``epoch`` span and the begin of the new one, so reports can
+        render leader timelines and epoch durations without sampling.
+        """
         if self.history and leader == self._leader:
             return
+        hub = self.network.hub
+        now = self.now
+        if self.history:
+            hub.span_end(now, self.pid, "epoch", self._leader)
         self._leader = leader
-        self.history.append((self.now, leader))
+        self.history.append((now, leader))
+        hub.leader_change(now, self.pid, leader)
+        hub.span_begin(now, self.pid, "epoch", leader)
 
     def on_start(self) -> None:
         """Record the initial output; subclasses call ``super().on_start()``."""
         self.history.append((self.now, self._leader))
+        hub = self.network.hub
+        hub.leader_change(self.now, self.pid, self._leader)
+        hub.span_begin(self.now, self.pid, "epoch", self._leader)

@@ -22,7 +22,11 @@ Report schema (``repro-bench/v1``)
 See ``docs/PERFORMANCE.md`` for the field-by-field description.  The
 deterministic payload lives under ``cases[*]`` (minus ``timing``) and
 ``summary``; everything wall-clock- or host-dependent lives under
-``cases[*].timing`` and ``meta``.
+``cases[*].timing`` and ``meta``.  Each case additionally carries two
+additive (schema-compatible) deterministic blocks: ``verdict`` — the
+shared :class:`~repro.obs.verdict.Verdict` of the experiment's checker
+— and ``profile`` — the kernel's profiling counters
+(:meth:`~repro.sim.engine.Simulation.profile`).
 """
 
 from __future__ import annotations
@@ -39,6 +43,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 from repro.core import OmegaConfig, analyze_omega_run
 from repro.harness.scenarios import OmegaScenario
+from repro.obs.verdict import Verdict
 from repro.sim import LinkTimings
 
 __all__ = [
@@ -189,7 +194,7 @@ def default_suite(
 # Per-experiment runners (top-level so they pickle under spawn)
 # ----------------------------------------------------------------------
 
-def _run_e1(algorithm: str, n: int, seed: int) -> tuple[bool, dict, Any]:
+def _run_e1(algorithm: str, n: int, seed: int) -> tuple[Verdict, dict, Any]:
     source = n // 2
     if algorithm == "all-timely":
         scenario = OmegaScenario(algorithm=algorithm, n=n, system="all-et",
@@ -208,11 +213,11 @@ def _run_e1(algorithm: str, n: int, seed: int) -> tuple[bool, dict, Any]:
         "stabilization_time_s": outcome.report.stabilization_time,
         "final_leader": outcome.report.final_leader,
     }
-    return outcome.stabilized, details, outcome.cluster
+    return outcome.report.verdict(), details, outcome.cluster
 
 
 def _run_e2(algorithm: str, n: int, seed: int,
-            horizon: float) -> tuple[bool, dict, Any]:
+            horizon: float) -> tuple[Verdict, dict, Any]:
     system = "all-et" if algorithm == "all-timely" else "source"
     outcome = OmegaScenario(algorithm=algorithm, n=n, system=system,
                             source=n // 2, seed=seed, horizon=horizon,
@@ -222,18 +227,24 @@ def _run_e2(algorithm: str, n: int, seed: int,
     senders = len(metrics.senders_between(horizon - window, horizon - 0.001))
     messages = metrics.messages_between(horizon - window, horizon - 0.001)
     expected = 1 if algorithm == "comm-efficient" else n
-    ok = outcome.stabilized and senders == expected
     details = {
         "senders_final_window": senders,
         "messages_final_window": messages,
         "expected_senders": expected,
         "total_sent": metrics.total_sent,
     }
-    return ok, details, outcome.cluster
+    verdict = outcome.report.verdict()
+    if senders == expected:
+        verdict = verdict.merge(Verdict.passed(senders_final_window=senders))
+    else:
+        verdict = verdict.merge(Verdict.failed(
+            f"{senders} senders in the final window, expected {expected}",
+            senders_final_window=senders))
+    return verdict, details, outcome.cluster
 
 
 def _run_e3(algorithm: str, system: str, n: int,
-            seed: int) -> tuple[bool, dict, Any]:
+            seed: int) -> tuple[Verdict, dict, Any]:
     outcome = OmegaScenario(
         algorithm=algorithm, n=n, system=system, source=1,
         targets=(0, 2) if system == "f-source" else (),
@@ -242,18 +253,26 @@ def _run_e3(algorithm: str, system: str, n: int,
     active = len(outcome.comm.links)
     if algorithm == "comm-efficient":
         ok = active == n - 1 and outcome.communication_efficient
+        expectation = f"exactly {n - 1} leader-adjacent links"
     else:
         ok = active > n - 1
+        expectation = f"more than {n - 1} links (not communication-efficient)"
     details = {
         "links_active_final_window": active,
         "ce_target": n - 1,
         "full_mesh": n * (n - 1),
         "communication_efficient": outcome.communication_efficient,
     }
-    return ok, details, outcome.cluster
+    if ok:
+        verdict = Verdict.passed(links_active_final_window=active)
+    else:
+        verdict = Verdict.failed(
+            f"{active} busy links in the final window, expected {expectation}",
+            links_active_final_window=active)
+    return verdict, details, outcome.cluster
 
 
-def _run_e4(eta: float, seed: int) -> tuple[bool, dict, Any]:
+def _run_e4(eta: float, seed: int) -> tuple[Verdict, dict, Any]:
     n, crash_at = 6, 60.0
     config = OmegaConfig(eta=eta, initial_timeout=4 * eta, growth_step=eta)
     scenario = OmegaScenario(
@@ -276,10 +295,16 @@ def _run_e4(eta: float, seed: int) -> tuple[bool, dict, Any]:
         "reelection_latency_s": latency,
         "eta_s": eta,
     }
-    return latency is not None, details, cluster
+    if latency is not None:
+        verdict = Verdict.passed(reelection_latency_s=latency)
+    else:
+        verdict = Verdict.failed(
+            "no re-election after crashing the first leader",
+            crashed_leader=first)
+    return verdict, details, cluster
 
 
-_RUNNERS: dict[str, Callable[..., tuple[bool, dict, Any]]] = {
+_RUNNERS: dict[str, Callable[..., tuple[Verdict, dict, Any]]] = {
     "e1": _run_e1,
     "e2": _run_e2,
     "e3": _run_e3,
@@ -294,7 +319,7 @@ def run_case(case: BenchCase) -> dict:
     ``(case.experiment, case.params)``.
     """
     started = time.perf_counter()
-    ok, details, cluster = _RUNNERS[case.experiment](**case.params)
+    verdict, details, cluster = _RUNNERS[case.experiment](**case.params)
     wall = time.perf_counter() - started
     events = cluster.sim.events_executed
     sim_time = cluster.sim.now
@@ -302,10 +327,12 @@ def run_case(case: BenchCase) -> dict:
         "case_id": case.case_id,
         "experiment": case.experiment,
         "params": dict(case.params),
-        "ok": bool(ok),
+        "ok": verdict.ok,
+        "verdict": verdict.to_json(),
         "result": details,
         "events": events,
         "sim_time_s": sim_time,
+        "profile": cluster.sim.profile(),
         "timing": {
             "wall_s": wall,
             "events_per_s": events / wall if wall > 0 else None,

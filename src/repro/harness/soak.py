@@ -200,7 +200,7 @@ def _execute_omega(case: SoakCase, timings: LinkTimings) -> tuple[bool, str]:
         faults=case.plan, seed=case.seed, horizon=case.horizon,
         timings=timings, config=OmegaConfig())
     report = scenario.run().report
-    if not report.omega_holds:
+    if not report.verdict():
         return False, f"omega violated: outputs={report.final_outputs}"
     if report.final_leader in case.fault_plan().crashed_pids:
         return False, f"crashed leader {report.final_leader} trusted"
@@ -219,13 +219,13 @@ def _execute_single_decree(case: SoakCase,
     system.start_all()
     system.run_until(case.horizon)
     report = check_single_decree(system)
+    if report.verdict():
+        return True, (f"decided {next(iter(report.decided.values()))!r} "
+                      f"by {report.latest_decision:.1f}s")
     if not (report.agreement and report.validity):
         return False, "safety violated"
-    if not report.all_correct_decided:
-        return False, (f"liveness: decided={sorted(report.decided)} "
-                       f"correct={report.correct}")
-    return True, (f"decided {next(iter(report.decided.values()))!r} "
-                  f"by {report.latest_decision:.1f}s")
+    return False, (f"liveness: decided={sorted(report.decided)} "
+                   f"correct={report.correct}")
 
 
 def _execute_log(case: SoakCase, timings: LinkTimings) -> tuple[bool, str]:
@@ -238,7 +238,7 @@ def _execute_log(case: SoakCase, timings: LinkTimings) -> tuple[bool, str]:
     system.start_all()
     system.run_until(case.horizon)
     report = check_log(system, workload.submitted)
-    if not (report.agreement and report.validity):
+    if not report.verdict():
         return False, f"safety violated: {report.divergences}"
     if not workload.done():
         return False, "liveness: commands missing"

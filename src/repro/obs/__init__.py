@@ -1,0 +1,61 @@
+"""Unified observability: observers, verdicts, timeliness, run reports.
+
+This package is the one instrumentation surface of the repository (see
+``docs/OBSERVABILITY.md``):
+
+* :class:`Observer` / :class:`ObserverHub` — the event protocol every
+  network dispatches through, and its fan-out hub;
+* :func:`capture` — attach observers to networks built by code you do
+  not control (harnesses, scenarios, soak campaigns);
+* :class:`Verdict` — the shared result shape of every checker;
+* :class:`TimelinessInspector` — empirical per-link timely /
+  eventually-timely / lossy classification;
+* :class:`RunRecorder` / :class:`RunReport` — the ``repro-report/v1``
+  aggregator behind ``python -m repro report``.
+
+Import discipline: submodules here depend only on the standard library
+and each other (report builders import the sim/harness stack lazily,
+inside functions), so ``repro.sim.network`` can import this package
+without creating a cycle.
+"""
+
+from repro.obs.observer import Capture, Observer, ObserverHub, capture
+from repro.obs.report import (
+    PHASE_OF_KIND,
+    REPORT_SCHEMA,
+    RunRecorder,
+    RunReport,
+    bench_case_report,
+    render_report_text,
+    scenario_report,
+    soak_case_report,
+    validate_report,
+)
+from repro.obs.timeliness import (
+    LinkStats,
+    TimelinessInspector,
+    classification_matches,
+    expected_link_classes,
+)
+from repro.obs.verdict import Verdict
+
+__all__ = [
+    "Observer",
+    "ObserverHub",
+    "Capture",
+    "capture",
+    "Verdict",
+    "LinkStats",
+    "TimelinessInspector",
+    "expected_link_classes",
+    "classification_matches",
+    "REPORT_SCHEMA",
+    "PHASE_OF_KIND",
+    "RunRecorder",
+    "RunReport",
+    "scenario_report",
+    "bench_case_report",
+    "soak_case_report",
+    "validate_report",
+    "render_report_text",
+]

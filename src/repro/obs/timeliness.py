@@ -1,0 +1,262 @@
+"""Empirical per-link timeliness classification.
+
+The paper's whole premise is that *which links* are timely determines
+*which algorithms* work; following the timeliness-graph extraction idea
+of Delporte-Gallet et al. (see PAPERS.md), the
+:class:`TimelinessInspector` observes a run from the receiver side only
+— delays and drops, never the link objects themselves — and classifies
+every directed link that carried traffic as ``timely``,
+``eventually-timely`` or ``lossy``.  Because the simulator *does* know
+the ground truth, :func:`expected_link_classes` reads it back from the
+configured topology so seeded runs can assert that the empirical
+classification matches the model the run was built on.
+
+Methodology
+-----------
+Per directed link the inspector keeps: sends, deliveries, link-level
+drops (other drop reasons — partitions, crashed endpoints — say nothing
+about the *link*), the delay sum/max, and a suffix counter
+``good_after_bad``: the number of consecutive well-behaved deliveries
+since the last "bad" event (a link drop or an over-bound delay).  The
+decision rule, in order:
+
+1. fewer than ``min_samples`` sends → ``insufficient-data``;
+2. no bad event ever → ``timely``;
+3. a clean suffix of at least ``tail`` deliveries → ``eventually-timely``
+   (bad things happened, then stopped — the GST signature);
+4. any link-level drop → ``lossy``;
+5. otherwise → ``insufficient-data``: delays misbehaved and the clean
+   tail has not (yet) accumulated, which is exactly what a pre-GST
+   eventually-timely link looks like — without loss evidence the run
+   simply ended too early to tell.
+
+Out-of-order delivery makes the suffix rule conservative: a late
+straggler from before GST resets the clean suffix, so a genuinely
+eventually-timely link may need a longer post-GST run to be recognized —
+but a lossy link is never promoted, which is the error direction that
+matters for checking.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.obs.observer import Observer
+
+__all__ = [
+    "LinkStats",
+    "TimelinessInspector",
+    "expected_link_classes",
+    "classification_matches",
+]
+
+#: Classes the inspector can emit, in "goodness" order.
+CLASSES = ("timely", "eventually-timely", "lossy", "insufficient-data")
+
+
+class LinkStats:
+    """Accumulated observations for one directed link.
+
+    Attributes mirror the methodology in the module docstring: raw
+    counters plus the ``good_after_bad`` clean-suffix length used to
+    detect eventual timeliness.
+    """
+
+    __slots__ = ("sent", "delivered", "dropped", "delay_sum", "delay_max",
+                 "bad_events", "good_after_bad")
+
+    def __init__(self) -> None:
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.delay_sum = 0.0
+        self.delay_max = 0.0
+        self.bad_events = 0
+        self.good_after_bad = 0
+
+    @property
+    def delay_mean(self) -> float:
+        """Mean observed delay of delivered messages (0.0 if none)."""
+        return self.delay_sum / self.delivered if self.delivered else 0.0
+
+    def to_json(self) -> dict[str, Any]:
+        """A JSON-serialisable snapshot of the counters."""
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "delay_mean": round(self.delay_mean, 6),
+            "delay_max": round(self.delay_max, 6),
+            "bad_events": self.bad_events,
+            "clean_suffix": self.good_after_bad,
+        }
+
+
+class TimelinessInspector(Observer):
+    """Observer that classifies directed links from delay/loss evidence.
+
+    Parameters
+    ----------
+    delay_bound:
+        Delays above this are "bad" — i.e. the candidate delta for the
+        timely/eventually-timely classes.  The default comfortably
+        covers the repo's timely links (delta 0.05) while rejecting the
+        multi-second delays lossy links are allowed.
+    tail:
+        Length of the clean delivery suffix required to call a link
+        eventually timely.
+    min_samples:
+        Minimum sends before any verdict; below it the link is
+        ``insufficient-data``.
+    """
+
+    def __init__(self, delay_bound: float = 0.25, tail: int = 10,
+                 min_samples: int = 8) -> None:
+        if delay_bound <= 0:
+            raise ValueError("delay_bound must be positive")
+        if tail < 1 or min_samples < 1:
+            raise ValueError("tail and min_samples must be >= 1")
+        self.delay_bound = delay_bound
+        self.tail = tail
+        self.min_samples = min_samples
+        self._links: dict[tuple[int, int], LinkStats] = {}
+
+    def _stats(self, src: int, dst: int) -> LinkStats:
+        key = (src, dst)
+        stats = self._links.get(key)
+        if stats is None:
+            stats = self._links[key] = LinkStats()
+        return stats
+
+    # -- observer hooks -------------------------------------------------
+
+    def on_send(self, time: float, src: int, dst: int, kind: str) -> None:
+        """Count the attempt; loss rates are per *send*, not per arrival."""
+        self._stats(src, dst).sent += 1
+
+    def on_deliver(self, time: float, src: int, dst: int, kind: str,
+                   sent_at: float) -> None:
+        """Record the delay and extend or reset the clean suffix."""
+        stats = self._stats(src, dst)
+        delay = time - sent_at
+        stats.delivered += 1
+        stats.delay_sum += delay
+        if delay > stats.delay_max:
+            stats.delay_max = delay
+        if delay > self.delay_bound:
+            stats.bad_events += 1
+            stats.good_after_bad = 0
+        else:
+            stats.good_after_bad += 1
+
+    def on_drop(self, time: float, src: int, dst: int, kind: str,
+                reason: str) -> None:
+        """A ``"link"`` drop is evidence of lossiness; other reasons are not."""
+        if reason != "link":
+            return
+        stats = self._stats(src, dst)
+        stats.dropped += 1
+        stats.bad_events += 1
+        stats.good_after_bad = 0
+
+    # -- queries --------------------------------------------------------
+
+    @property
+    def links(self) -> Mapping[tuple[int, int], LinkStats]:
+        """Raw per-link statistics, keyed by ``(src, dst)``."""
+        return dict(self._links)
+
+    def classify(self, src: int, dst: int) -> str:
+        """The class of one directed link (see the module docstring)."""
+        stats = self._links.get((src, dst))
+        if stats is None or stats.sent < self.min_samples:
+            return "insufficient-data"
+        if stats.bad_events == 0:
+            return "timely"
+        if stats.good_after_bad >= self.tail:
+            return "eventually-timely"
+        if stats.dropped > 0:
+            return "lossy"
+        # Late deliveries but no loss and no clean tail yet: could be an
+        # eventually-timely link observed before (enough of) its GST.
+        return "insufficient-data"
+
+    def classification(self) -> dict[tuple[int, int], str]:
+        """Classes for every directed link that carried traffic, sorted."""
+        return {key: self.classify(*key) for key in sorted(self._links)}
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON block: parameters, per-link class + stats (string keys)."""
+        return {
+            "params": {
+                "delay_bound": self.delay_bound,
+                "tail": self.tail,
+                "min_samples": self.min_samples,
+            },
+            "links": {
+                f"{src}->{dst}": {
+                    "class": self.classify(src, dst),
+                    **self._links[(src, dst)].to_json(),
+                }
+                for src, dst in sorted(self._links)
+            },
+        }
+
+
+def _expected_class(described: str) -> str:
+    """Map a policy ``describe()`` string onto the expected class."""
+    if described.startswith("perturbed("):
+        # "perturbed(<inner describe>, windows=N)" — classify the base
+        # model; windows are transient adversity, not link identity.
+        return _expected_class(described[len("perturbed("):])
+    if described.startswith("timely("):
+        return "timely"
+    if described.startswith("eventually-timely("):
+        return "eventually-timely"
+    if described.startswith(("fair-lossy(", "lossy-async(", "dead")):
+        return "lossy"
+    return "unknown"
+
+
+def expected_link_classes(network: Any) -> dict[tuple[int, int], str]:
+    """Ground-truth classes for every ordered pair of a network.
+
+    Reads each pair's configured :class:`~repro.sim.links.LinkPolicy`
+    via ``describe()`` (instantiating defaults lazily, exactly as the
+    network itself would on first send), so the result reflects the
+    topology the run actually executed on.
+    """
+    expected: dict[tuple[int, int], str] = {}
+    for src in network.pids:
+        for dst in network.pids:
+            if src != dst:
+                expected[(src, dst)] = _expected_class(
+                    network.link(src, dst).describe())
+    return expected
+
+
+def classification_matches(observed: str, expected: str) -> bool:
+    """Whether an empirical class is consistent with the ground truth.
+
+    The matching is deliberately one-sided: a stronger observation than
+    promised is fine (an eventually-timely link that never misbehaved
+    *looks* timely; a lossy link may happen to behave), and a link
+    without enough samples proves nothing.  Only behaviour the model
+    *forbids* is a mismatch — which leaves ``timely`` as the only
+    falsifiable promise on a finite trace:
+
+    * expected ``timely`` — must be observed timely: any drop or
+      over-bound delay breaks the promise outright;
+    * expected ``eventually-timely`` — consistent with *anything*.  The
+      model allows arbitrary loss and delay before GST, and no finite
+      observation can show that GST (plus a clean tail) would never
+      have arrived; a run that ends mid-storm legitimately observes
+      ``lossy``.
+    * expected ``lossy`` — promises nothing, so nothing can break it.
+    """
+    if observed == "insufficient-data":
+        return True
+    if expected == "timely":
+        return observed == "timely"
+    # eventually-timely and lossy admit any finite behaviour.
+    return True

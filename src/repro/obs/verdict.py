@@ -1,0 +1,93 @@
+"""The one verdict type every checker, harness, and report speaks.
+
+Historically ``repro.core.checker`` and ``repro.consensus.checker``
+returned incompatible report shapes, and soak/bench each re-derived a
+pass/fail boolean plus an explanation string by hand.  :class:`Verdict`
+is the shared currency: a frozen ``(ok, violations, evidence)`` triple
+that renders to JSON deterministically, merges associatively, and keeps
+the *reasons* for a failure machine-readable instead of burying them in
+formatted strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["Verdict"]
+
+
+def _freeze(value: Any) -> Any:
+    """Recursively convert containers to hashable/JSON-stable forms."""
+    if isinstance(value, Mapping):
+        return {str(k): _freeze(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_freeze(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_freeze(v) for v in value)
+    return value
+
+
+@dataclass(frozen=True, slots=True)
+class Verdict:
+    """Outcome of a property check: ``ok`` plus structured justification.
+
+    Attributes
+    ----------
+    ok:
+        True iff every checked property held.
+    violations:
+        Human-readable, machine-greppable descriptions of each property
+        that failed; empty iff ``ok``.
+    evidence:
+        Supporting facts (final leader, decision values, counts...) kept
+        regardless of outcome so reports can show *why* a run passed,
+        not just that it did.
+    """
+
+    ok: bool
+    violations: tuple[str, ...] = ()
+    evidence: Mapping[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def passed(cls, **evidence: Any) -> "Verdict":
+        """A passing verdict carrying optional supporting evidence."""
+        return cls(ok=True, violations=(), evidence=evidence)
+
+    @classmethod
+    def failed(cls, *violations: str, **evidence: Any) -> "Verdict":
+        """A failing verdict; at least one violation string is required."""
+        if not violations:
+            raise ValueError("a failing Verdict needs at least one violation")
+        return cls(ok=False, violations=tuple(violations), evidence=evidence)
+
+    def merge(self, *others: "Verdict") -> "Verdict":
+        """Combine verdicts: ok iff all ok, violations and evidence unioned.
+
+        Evidence keys are merged left to right; later verdicts win on
+        key collisions (callers should namespace keys when that matters).
+        """
+        verdicts = (self, *others)
+        evidence: dict[str, Any] = {}
+        violations: list[str] = []
+        for verdict in verdicts:
+            violations.extend(verdict.violations)
+            evidence.update(verdict.evidence)
+        return Verdict(ok=all(v.ok for v in verdicts),
+                       violations=tuple(violations), evidence=evidence)
+
+    def to_json(self) -> dict[str, Any]:
+        """A JSON-serialisable dict: ``{ok, violations, evidence}``.
+
+        Evidence values are deep-converted (tuples/sets to sorted lists,
+        mapping keys to strings) so the result is ``json.dumps``-stable.
+        """
+        return {
+            "ok": self.ok,
+            "violations": list(self.violations),
+            "evidence": _freeze(dict(self.evidence)),
+        }
+
+    def __bool__(self) -> bool:
+        """Truthiness mirrors ``ok`` so ``if verdict:`` reads naturally."""
+        return self.ok

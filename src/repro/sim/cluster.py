@@ -10,8 +10,9 @@ crash processes, and ask who is still up.
 
 from __future__ import annotations
 
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
+from repro.obs.observer import Observer
 from repro.sim.engine import Simulation
 from repro.sim.links import LinkPolicy
 from repro.sim.metrics import MetricsCollector
@@ -53,8 +54,15 @@ class Cluster:
         seed: int = 0,
         trace: bool = False,
         metrics_window: float = 1.0,
+        observers: Iterable[Observer] = (),
     ) -> "Cluster":
         """Assemble a cluster of ``n`` processes with pids ``0..n-1``.
+
+        The network always gets a :class:`MetricsCollector`; a
+        :class:`TraceLog` is attached only when ``trace`` is true (an
+        untraced cluster pays nothing for tracing — asking for
+        ``cluster.trace`` anyway lazily attaches a disabled log rather
+        than crashing).
 
         Parameters
         ----------
@@ -73,15 +81,17 @@ class Cluster:
             Enable full event tracing (tests: yes, benchmarks: no).
         metrics_window:
             Aggregation window of the metrics collector.
+        observers:
+            Extra observers to attach to the network's hub.
         """
         if n < 2:
             raise ValueError("a distributed system needs at least 2 processes")
         sim = Simulation(seed=seed)
-        network = Network(
-            sim,
-            trace=TraceLog(enabled=trace),
-            metrics=MetricsCollector(window=metrics_window),
-        )
+        network = Network(sim, observers=(
+            MetricsCollector(window=metrics_window),
+            *((TraceLog(enabled=True),) if trace else ()),
+            *observers,
+        ))
         if links is not None:
             apply_links(network, links)
         processes = {pid: process_factory(pid, sim, network) for pid in range(n)}
@@ -108,12 +118,17 @@ class Cluster:
 
     @property
     def metrics(self) -> MetricsCollector:
-        """The network's metrics collector."""
+        """The network's metrics collector (delegates to the observer hub)."""
         return self.network.metrics
 
     @property
     def trace(self) -> TraceLog:
-        """The network's trace log."""
+        """The network's trace log (delegates to the observer hub).
+
+        On clusters built with ``trace=False`` this returns a disabled
+        log (lazily attached) instead of crashing, so trace views stay
+        safe to request unconditionally.
+        """
         return self.network.trace
 
     def process(self, pid: int) -> Process:

@@ -74,6 +74,10 @@ class Simulation:
         self._heap: list[tuple[float, int, ScheduledEvent]] = []
         self._tombstones = 0
         self._executed = 0
+        # Profiling counters (cold paths only; hot-path figures are
+        # derived from _seq/_executed, which exist anyway).
+        self._tombstone_pops = 0
+        self._compactions = 0
         self._rng = RngFabric(seed)
 
     # ------------------------------------------------------------------
@@ -94,6 +98,29 @@ class Simulation:
     def events_executed(self) -> int:
         """Total events run so far; the benchmark throughput denominator."""
         return self._executed
+
+    def profile(self) -> dict[str, int]:
+        """Kernel profiling counters, all integers and fully deterministic.
+
+        * ``events_executed`` — live events whose actions ran;
+        * ``heap_pushes`` — events ever pushed (the insertion counter, so
+          this costs the hot path nothing extra);
+        * ``heap_pops`` — pops of live events plus tombstone discards;
+        * ``tombstone_pops`` — cancelled events discarded at pop time;
+        * ``compactions`` — tombstone sweeps that rebuilt the heap;
+        * ``pending`` — live events still queued.
+
+        These thread into bench reports as the additive ``profile``
+        block of each case record.
+        """
+        return {
+            "events_executed": self._executed,
+            "heap_pushes": self._seq,
+            "heap_pops": self._executed + self._tombstone_pops,
+            "tombstone_pops": self._tombstone_pops,
+            "compactions": self._compactions,
+            "pending": self.pending(),
+        }
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -171,6 +198,7 @@ class Simulation:
             time, _seq, event = heapq.heappop(heap)
             if event.cancelled:
                 self._tombstones -= 1
+                self._tombstone_pops += 1
                 continue
             self._now = time
             self._executed += 1
@@ -192,6 +220,7 @@ class Simulation:
             if event.cancelled:
                 pop(heap)
                 self._tombstones -= 1
+                self._tombstone_pops += 1
                 continue
             if time > deadline:
                 break
@@ -244,6 +273,7 @@ class Simulation:
             heap[:] = [entry for entry in heap if not entry[2].cancelled]
             heapq.heapify(heap)
             self._tombstones = 0
+            self._compactions += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Simulation(now={self._now:.3f}, pending={self.pending()})"

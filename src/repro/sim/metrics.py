@@ -10,13 +10,16 @@ decide that empirically:
   traffic, and how many messages, in each window of ``window`` time
   units.
 
-It is fed by the network on every send/delivery/drop and is cheap enough
-to stay enabled in benchmarks (unlike :class:`~repro.sim.trace.TraceLog`).
+It is an :class:`~repro.obs.Observer`: the network's hub feeds it on
+every send/delivery/drop, and it is cheap enough to stay attached in
+benchmarks (unlike :class:`~repro.sim.trace.TraceLog`).
 """
 
 from __future__ import annotations
 
 from collections import Counter, defaultdict
+
+from repro.obs.observer import Observer
 
 __all__ = ["MetricsCollector", "WindowStats"]
 
@@ -38,8 +41,12 @@ class WindowStats:
                 f"links={len(self.links)}, messages={self.messages})")
 
 
-class MetricsCollector:
+class MetricsCollector(Observer):
     """Message-flow aggregates, windowed and total.
+
+    An observer (attach it to a network's hub, or let ``Network(sim)``
+    attach a default one); it only overrides the send/deliver/drop
+    hooks, so it adds nothing to the cost of the other event kinds.
 
     Parameters
     ----------
@@ -63,7 +70,7 @@ class MetricsCollector:
         self._window_messages: Counter[int] = Counter()
 
     # ------------------------------------------------------------------
-    # Feed (called by the network)
+    # Feed (called by the network's observer hub)
     # ------------------------------------------------------------------
 
     def on_send(self, time: float, src: int, dst: int, kind: str) -> None:
@@ -76,8 +83,9 @@ class MetricsCollector:
         self._window_links[index].add((src, dst))
         self._window_messages[index] += 1
 
-    def on_deliver(self, time: float, src: int, dst: int, kind: str) -> None:
-        """Account one delivered message."""
+    def on_deliver(self, time: float, src: int, dst: int, kind: str,
+                   sent_at: float = 0.0) -> None:
+        """Account one delivered message (``sent_at`` is unused here)."""
         self.delivered_by_kind[kind] += 1
 
     def on_drop(self, time: float, src: int, dst: int, kind: str, reason: str) -> None:

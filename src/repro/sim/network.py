@@ -1,9 +1,13 @@
 """The simulated network: one link policy per ordered process pair.
 
-:class:`Network` glues together the kernel, the link models, tracing and
-metrics.  A protocol process never touches links directly — it calls
-``send``/``broadcast`` and the network consults the (stateful) policy of
-the ordered pair, schedules the delivery event, and feeds the observers.
+:class:`Network` glues together the kernel, the link models and the
+observability layer.  A protocol process never touches links directly —
+it calls ``send``/``broadcast`` and the network consults the (stateful)
+policy of the ordered pair, schedules the delivery event, and dispatches
+the event to its :class:`~repro.obs.ObserverHub`.  The hub is **the**
+single dispatch point of the repository: metrics, traces, timeliness
+inspection and run recording are all just observers attached to it
+(see ``docs/OBSERVABILITY.md``).
 
 Crash semantics follow the crash-stop model: a message addressed to a
 process that is down *at delivery time* is silently dropped (recorded as
@@ -16,21 +20,24 @@ every process crosses it), so it avoids re-deriving anything per call:
 the ``(policy, rng_stream)`` pair of each ordered link is cached in a
 route table (invalidated by :meth:`set_link`/:meth:`perturb_link`), the
 sorted pid tuple used by ``broadcast`` is cached at registration time,
-and trace records are only *constructed* when the trace is enabled, so
-non-traced runs pay nothing for tracing.
+and observer dispatch iterates the hub's precomputed per-event callback
+tuples — an empty tuple (no observer overrides that hook) costs one
+truthiness check, exactly like the old lazy-trace guard.
 """
 
 from __future__ import annotations
 
 import random
+import warnings
 from functools import partial
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
+from repro.obs.observer import Observer, ObserverHub, attach_captured
 from repro.sim.engine import Simulation
 from repro.sim.links import DegradedWindow, LinkPolicy, PerturbedLink, TimelyLink
 from repro.sim.messages import Message
 from repro.sim.metrics import MetricsCollector
-from repro.sim.trace import CrashRecord, DeliverRecord, DropRecord, SendRecord, TraceLog
+from repro.sim.trace import TraceLog
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.sim.process import Process
@@ -42,6 +49,12 @@ class NetworkError(RuntimeError):
     """Raised on network misuse (unknown process, sending while crashed...)."""
 
 
+def _deprecated(message: str) -> None:
+    # stacklevel 3: _deprecated -> __init__ -> caller.  The standard
+    # warnings machinery dedups per call site, so callers see it once.
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
 class Network:
     """Message fabric between registered processes.
 
@@ -49,20 +62,27 @@ class Network:
     registrations and the same sequence of ``send`` calls, deliveries,
     drops and delays are bit-for-bit identical — each ordered link draws
     from its own named RNG stream, so runs do not depend on dict order or
-    wall clock.  All times are seconds of simulated time.
+    wall clock.  Observers are passive; attaching or detaching any
+    number of them never changes a run.  All times are seconds of
+    simulated time.
 
     Parameters
     ----------
     sim:
         The simulation kernel that owns time.
-    trace:
-        Optional :class:`TraceLog`; a disabled one is created if omitted.
-    metrics:
-        Optional :class:`MetricsCollector`; created with a 1.0 window if
-        omitted.
+    observers:
+        Observers to attach to the network's hub at construction.
+        ``None`` (the default) attaches a fresh
+        :class:`~repro.sim.metrics.MetricsCollector`, preserving the
+        historical behaviour of ``Network(sim)``; pass an explicit
+        empty tuple for a truly bare network.
     default_link:
         Factory used for any ordered pair without an explicit
         :meth:`set_link`; defaults to fresh :class:`TimelyLink` per pair.
+    trace, metrics:
+        Deprecated; attach :class:`~repro.sim.trace.TraceLog` /
+        :class:`~repro.sim.metrics.MetricsCollector` instances through
+        ``observers`` instead.
     """
 
     def __init__(
@@ -71,10 +91,26 @@ class Network:
         trace: TraceLog | None = None,
         metrics: MetricsCollector | None = None,
         default_link: Callable[[], LinkPolicy] = TimelyLink,
+        observers: Iterable[Observer] | None = None,
     ) -> None:
         self.sim = sim
-        self.trace = trace if trace is not None else TraceLog(enabled=False)
-        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.hub = ObserverHub()
+        if trace is not None:
+            _deprecated("Network(trace=...) is deprecated; pass the TraceLog "
+                        "via Network(observers=(...,)) instead")
+            self.hub.attach(trace)
+        if metrics is not None:
+            _deprecated("Network(metrics=...) is deprecated; pass the "
+                        "MetricsCollector via Network(observers=(...,)) "
+                        "instead")
+            self.hub.attach(metrics)
+        if observers is None:
+            if metrics is None:
+                self.hub.attach(MetricsCollector())
+        else:
+            for observer in observers:
+                self.hub.attach(observer)
+        attach_captured(self.hub, self)
         self._default_link = default_link
         self._processes: dict[int, "Process"] = {}
         self._links: dict[tuple[int, int], LinkPolicy] = {}
@@ -83,6 +119,38 @@ class Network:
         self._pid_tuple: tuple[int, ...] = ()
         self._routes: dict[tuple[int, int],
                            tuple[LinkPolicy, random.Random]] = {}
+
+    # ------------------------------------------------------------------
+    # Observer accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def metrics(self) -> MetricsCollector:
+        """The first attached :class:`MetricsCollector`.
+
+        Raises :class:`NetworkError` if none is attached (only possible
+        on networks built with an explicit bare ``observers=()``).
+        """
+        collector = self.hub.first(MetricsCollector)
+        if collector is None:
+            raise NetworkError(
+                "no MetricsCollector attached to this network; pass one in "
+                "Network(observers=...) or network.hub.attach(...) it")
+        return collector
+
+    @property
+    def trace(self) -> TraceLog:
+        """The first attached :class:`TraceLog`.
+
+        If none is attached, a *disabled* one is attached lazily and
+        returned, so ``network.trace.enabled = True`` keeps working on
+        networks built without tracing — and networks that never touch
+        ``.trace`` pay nothing for it.
+        """
+        log = self.hub.first(TraceLog)
+        if log is None:
+            log = self.hub.attach(TraceLog(enabled=False))
+        return log
 
     # ------------------------------------------------------------------
     # Topology
@@ -217,32 +285,30 @@ class Network:
             raise NetworkError(f"unknown pid {dst}")
         now = self.sim.now
         kind = message.kind
-        trace = self.trace
-        traced = trace.enabled
+        hub = self.hub
         if sender.crashed:
             # Crash-stop: a dead process cannot emit.  Reaching this point
             # indicates a protocol bug (e.g. a timer surviving a crash),
             # so it is recorded loudly rather than ignored.
-            if traced:
-                trace.record(DropRecord(now, src, dst, kind, "src_crashed"))
+            for callback in hub.drop_cbs:
+                callback(now, src, dst, kind, "src_crashed")
             raise NetworkError(f"crashed process {src} attempted to send")
 
-        if traced:
-            trace.record(SendRecord(now, src, dst, kind))
-        self.metrics.on_send(now, src, dst, kind)
+        send_cbs = hub.send_cbs
+        if send_cbs:
+            for callback in send_cbs:
+                callback(now, src, dst, kind)
 
         if self._partitions and self.partitioned(src, dst, now):
-            if traced:
-                trace.record(DropRecord(now, src, dst, kind, "partition"))
-            self.metrics.on_drop(now, src, dst, kind, "partition")
+            for callback in hub.drop_cbs:
+                callback(now, src, dst, kind, "partition")
             return
 
         policy, rng = self._route(src, dst)
         delays = policy.plan_all(message, now, rng)
         if not delays:
-            if traced:
-                trace.record(DropRecord(now, src, dst, kind, "link"))
-            self.metrics.on_drop(now, src, dst, kind, "link")
+            for callback in hub.drop_cbs:
+                callback(now, src, dst, kind, "link")
             return
         # Base links deliver one copy; perturbed links may duplicate.
         # Deliveries are never cancelled, so use the handle-free path.
@@ -261,19 +327,19 @@ class Network:
     def _deliver(self, src: int, dst: int, message: Message, sent_at: float) -> None:
         receiver = self._processes[dst]
         now = self.sim.now
+        hub = self.hub
         if receiver.crashed or not receiver.started:
             # Crash-stop processes receive nothing; a not-yet-started
             # process has no open endpoint either (staggered boots).
             reason = "dst_crashed" if receiver.crashed else "dst_not_started"
-            if self.trace.enabled:
-                self.trace.record(
-                    DropRecord(now, src, dst, message.kind, reason))
-            self.metrics.on_drop(now, src, dst, message.kind, reason)
+            for callback in hub.drop_cbs:
+                callback(now, src, dst, message.kind, reason)
             return
-        if self.trace.enabled:
-            self.trace.record(
-                DeliverRecord(now, src, dst, message.kind, sent_at))
-        self.metrics.on_deliver(now, src, dst, message.kind)
+        deliver_cbs = hub.deliver_cbs
+        if deliver_cbs:
+            kind = message.kind
+            for callback in deliver_cbs:
+                callback(now, src, dst, kind, sent_at)
         receiver.deliver(message)
 
     # ------------------------------------------------------------------
@@ -281,5 +347,5 @@ class Network:
     # ------------------------------------------------------------------
 
     def note_crash(self, pid: int) -> None:
-        """Record a crash in the trace (the process handles its own state)."""
-        self.trace.record(CrashRecord(self.sim.now, pid))
+        """Dispatch a crash to the observers (the process handles its own state)."""
+        self.hub.crash(self.sim.now, pid)

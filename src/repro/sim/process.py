@@ -125,6 +125,7 @@ class Process:
         if self._crashed or self._paused:
             return
         self._paused = True
+        self.network.hub.pause(self.sim.now, self.pid)
 
     def resume(self) -> None:
         """Unfreeze the process and replay what it missed while paused.
@@ -136,6 +137,7 @@ class Process:
         if self._crashed or not self._paused:
             return
         self._paused = False
+        self.network.hub.resume(self.sim.now, self.pid)
         missed, self._missed_timers = self._missed_timers, []
         held, self._held_messages = self._held_messages, []
         for position, key in enumerate(missed):

@@ -4,14 +4,21 @@ A :class:`TraceLog` records what happened on the wire and to processes:
 sends, deliveries, drops (with reason) and crashes.  Traces power the
 fine-grained assertions in the test suite and the debugging workflow;
 coarse aggregate accounting lives in :mod:`repro.sim.metrics` instead,
-so traces can be disabled for long benchmark runs without losing the
-numbers the experiments report.
+so traces can be left unattached (or attached disabled) for long
+benchmark runs without losing the numbers the experiments report.
+
+The log is an :class:`~repro.obs.Observer`: the network's hub calls its
+``on_send``/``on_deliver``/``on_drop``/``on_crash`` hooks, which
+construct the record dataclasses below — but only while ``enabled``, so
+a disabled log costs one attribute check per event and zero allocation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Callable, Iterator
+
+from repro.obs.observer import Observer
 
 __all__ = [
     "TraceLog",
@@ -77,14 +84,15 @@ class CrashRecord:
 TraceRecord = SendRecord | DeliverRecord | DropRecord | CrashRecord
 
 
-class TraceLog:
+class TraceLog(Observer):
     """An append-only log of :data:`TraceRecord` entries.
 
     Parameters
     ----------
     enabled:
-        When False every ``record`` call is a no-op; the network still
-        feeds metrics.  Benchmarks disable tracing to keep memory flat.
+        When False every ``record`` call is a no-op; other observers
+        (metrics...) still see everything.  Benchmarks run without an
+        enabled trace to keep memory flat.
     """
 
     def __init__(self, enabled: bool = True) -> None:
@@ -95,6 +103,32 @@ class TraceLog:
         """Append one record (no-op when disabled)."""
         if self.enabled:
             self._records.append(record)
+
+    # ------------------------------------------------------------------
+    # Observer hooks (called by the network's hub)
+    # ------------------------------------------------------------------
+
+    def on_send(self, time: float, src: int, dst: int, kind: str) -> None:
+        """Record a :class:`SendRecord` (while enabled)."""
+        if self.enabled:
+            self._records.append(SendRecord(time, src, dst, kind))
+
+    def on_deliver(self, time: float, src: int, dst: int, kind: str,
+                   sent_at: float) -> None:
+        """Record a :class:`DeliverRecord` (while enabled)."""
+        if self.enabled:
+            self._records.append(DeliverRecord(time, src, dst, kind, sent_at))
+
+    def on_drop(self, time: float, src: int, dst: int, kind: str,
+                reason: str) -> None:
+        """Record a :class:`DropRecord` (while enabled)."""
+        if self.enabled:
+            self._records.append(DropRecord(time, src, dst, kind, reason))
+
+    def on_crash(self, time: float, pid: int) -> None:
+        """Record a :class:`CrashRecord` (while enabled)."""
+        if self.enabled:
+            self._records.append(CrashRecord(time, pid))
 
     def __len__(self) -> int:
         return len(self._records)

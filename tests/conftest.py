@@ -45,8 +45,8 @@ def sim() -> Simulation:
 @pytest.fixture
 def network(sim: Simulation) -> Network:
     """A traced network over timely default links."""
-    return Network(sim, trace=TraceLog(enabled=True),
-                   metrics=MetricsCollector(window=1.0))
+    return Network(sim, observers=(MetricsCollector(window=1.0),
+                                   TraceLog(enabled=True)))
 
 
 @pytest.fixture

@@ -89,7 +89,8 @@ class TestReportSchema:
     def test_case_fields_and_types(self, report: dict) -> None:
         for case in report["cases"]:
             assert set(case) == {"case_id", "experiment", "params", "ok",
-                                 "result", "events", "sim_time_s", "timing"}
+                                 "verdict", "result", "events", "sim_time_s",
+                                 "profile", "timing"}
             assert isinstance(case["case_id"], str)
             assert case["experiment"] in bench.EXPERIMENTS
             assert isinstance(case["ok"], bool)
@@ -97,6 +98,30 @@ class TestReportSchema:
             assert isinstance(case["sim_time_s"], float)
             assert set(case["timing"]) == {"wall_s", "events_per_s",
                                            "sim_s_per_wall_s"}
+
+    def test_verdict_block(self, report: dict) -> None:
+        """Each case carries the shared Verdict shape, consistent with ok."""
+        for case in report["cases"]:
+            verdict = case["verdict"]
+            assert set(verdict) == {"ok", "violations", "evidence"}
+            assert verdict["ok"] == case["ok"]
+            assert isinstance(verdict["violations"], list)
+            if not verdict["ok"]:
+                assert verdict["violations"]
+
+    def test_profile_block(self, report: dict) -> None:
+        """Kernel counters are integers and internally consistent."""
+        for case in report["cases"]:
+            profile = case["profile"]
+            assert set(profile) == {"events_executed", "heap_pushes",
+                                    "heap_pops", "tombstone_pops",
+                                    "compactions", "pending"}
+            assert all(isinstance(value, int) and value >= 0
+                       for value in profile.values())
+            assert profile["events_executed"] == case["events"]
+            assert profile["heap_pops"] == (profile["events_executed"]
+                                            + profile["tombstone_pops"])
+            assert profile["heap_pushes"] >= profile["events_executed"]
 
     def test_report_is_valid_sorted_json(self, report: dict) -> None:
         text = bench.report_to_json(report)
