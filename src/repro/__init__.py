@@ -7,8 +7,9 @@ The library has four layers:
 :mod:`repro.sim`
     A deterministic discrete-event simulator of a partially synchronous
     message-passing system with per-link synchrony models (timely,
-    eventually timely, fair-lossy, lossy-asynchronous), crash injection,
-    tracing and message accounting.
+    eventually timely, fair-lossy, lossy-asynchronous), crash and
+    crash-recovery injection with per-process stable storage, tracing
+    and message accounting.
 
 :mod:`repro.core`
     The paper's contribution: Omega (eventual leader election) failure
@@ -44,7 +45,7 @@ Deprecation policy: superseded entry points (currently the
 these warnings to errors so no in-repo code regresses onto them.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.consensus import (  # noqa: E402  (re-exports after docstring)
     ConsensusConfig,
@@ -59,6 +60,7 @@ from repro.core import (  # noqa: E402
     AllTimelyOmega,
     CommEfficientOmega,
     FSourceOmega,
+    RecoveringOmega,
     OmegaConfig,
     OmegaProtocol,
     SourceOmega,
@@ -81,6 +83,8 @@ from repro.sim import (  # noqa: E402
     Cluster,
     CrashPlan,
     FaultPlan,
+    StableStorage,
+    StorageError,
     LinkTimings,
     Message,
     ModelEnvelope,
@@ -102,6 +106,7 @@ __all__ = [
     "AllTimelyOmega",
     "CommEfficientOmega",
     "FSourceOmega",
+    "RecoveringOmega",
     "OmegaConfig",
     "OmegaProtocol",
     "SourceOmega",
@@ -122,6 +127,8 @@ __all__ = [
     "Cluster",
     "CrashPlan",
     "FaultPlan",
+    "StableStorage",
+    "StorageError",
     "ModelEnvelope",
     "Nemesis",
     "LinkTimings",

@@ -61,14 +61,27 @@ from repro.sim.topology import (
 __all__ = ["main", "build_parser"]
 
 
-def _parse_crashes(values: list[str]) -> tuple[tuple[float, int], ...]:
+def _parse_crashes(values: list[str]) -> tuple[tuple[float, ...], ...]:
+    """Parse ``--crash TIME:PID[:RECOVER]`` specs.
+
+    Malformed specs exit with a one-line message; a pid outside the
+    target ensemble is caught at schedule time with a one-line
+    :class:`~repro.sim.nemesis.FaultPlanError` naming the pid and n.
+    """
     crashes = []
     for item in values:
+        parts = item.split(":")
         try:
-            time_text, pid_text = item.split(":")
-            crashes.append((float(time_text), int(pid_text)))
+            if len(parts) == 2:
+                crashes.append((float(parts[0]), int(parts[1])))
+            elif len(parts) == 3:
+                crashes.append((float(parts[0]), int(parts[1]),
+                                float(parts[2])))
+            else:
+                raise ValueError(item)
         except ValueError:
-            raise SystemExit(f"bad --crash {item!r}; expected TIME:PID")
+            raise SystemExit(f"bad --crash {item!r}; expected TIME:PID "
+                             f"or TIME:PID:RECOVER")
     return tuple(crashes)
 
 
@@ -104,7 +117,7 @@ def cmd_omega(args: argparse.Namespace) -> int:
         try:
             cluster = scenario.run().cluster
         except FaultPlanError as error:
-            raise SystemExit(f"bad --faults plan: {error}")
+            raise SystemExit(f"bad fault plan: {error}")
         relayed = False
 
     report = analyze_omega_run(cluster)
@@ -166,7 +179,8 @@ def cmd_consensus(args: argparse.Namespace) -> int:
     system = ConsensusSystem.build_single_decree(
         args.n, lambda: source_links(args.n, args.source, timings),
         proposals=[f"value-from-{pid}" for pid in range(args.n)],
-        omega_name=args.omega, f=args.f, seed=args.seed)
+        omega_name=args.omega, f=args.f, seed=args.seed,
+        persist=args.persist)
     crashes = _parse_crashes(args.crash)
     if crashes:
         FaultPlan.crashes_at(*crashes).schedule(system)
@@ -190,7 +204,7 @@ def cmd_log(args: argparse.Namespace) -> int:
     sources = (args.source, (args.source + 1) % args.n)
     system = ConsensusSystem.build_replicated_log(
         args.n, lambda: multi_source_links(args.n, sources, timings),
-        omega_name=args.omega, seed=args.seed)
+        omega_name=args.omega, seed=args.seed, persist=args.persist)
     workload = LogWorkload(system, count=args.commands,
                            period=args.period, start=5.0)
     system.start_all()
@@ -264,14 +278,18 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 def cmd_soak(args: argparse.Namespace) -> int:
-    from repro.harness.soak import campaign_digest, soak
+    from repro.harness.soak import (
+        campaign_digest,
+        recovery_control_case,
+        soak,
+    )
 
     if args.minutes is not None and args.case:
         raise SystemExit("--case requires --cases mode (a fixed campaign)")
     cases = None if args.minutes is not None else args.cases
     results = soak(cases=cases, minutes=args.minutes, soak_seed=args.seed,
                    stop_on_failure=args.stop_on_failure,
-                   only=tuple(args.case))
+                   only=tuple(args.case), recovery=args.recovery)
     if args.case and not results:
         raise SystemExit(f"--case indices {args.case} outside "
                          f"--cases {args.cases}")
@@ -283,13 +301,30 @@ def cmd_soak(args: argparse.Namespace) -> int:
         if result.status == "fail":
             failures.append(result)
     digest = campaign_digest([result.case for result in results])
-    print(f"\n{len(results) - len(failures)}/{len(results)} campaigns ok "
+    mode = "recovery campaigns" if args.recovery else "campaigns"
+    print(f"\n{len(results) - len(failures)}/{len(results)} {mode} ok "
           f"(seed={args.seed})")
     print(f"campaign digest: {digest}")
+    if args.recovery:
+        # Control pair: the same crash+recover schedule violates
+        # agreement without stable storage and holds with it.
+        volatile_ok, volatile_detail = recovery_control_case(persist=False)
+        durable_ok, durable_detail = recovery_control_case(persist=True)
+        print("\nrecovery control case (why stable storage matters):")
+        print(f"  persist=False: "
+              f"{'agreement held' if volatile_ok else 'AGREEMENT VIOLATED'}"
+              f" -- {volatile_detail}")
+        print(f"  persist=True:  "
+              f"{'agreement held' if durable_ok else 'AGREEMENT VIOLATED'}"
+              f" -- {durable_detail}")
+        if volatile_ok or not durable_ok:
+            print("  control case did not behave as expected")
+            return 1
     if failures:
         print("\nrepro lines:")
         for result in failures:
             print(f"  python -m repro soak --seed {args.seed} "
+                  f"{'--recovery ' if args.recovery else ''}"
                   f"--case {result.case.index}   # {result.case.describe()}")
     return 1 if failures else 0
 
@@ -372,11 +407,12 @@ def cmd_report(args: argparse.Namespace) -> int:
                              f"suite cases:\n  {listing}")
         report = bench_case_report(by_id[args.case_id])
     else:  # soak
-        from repro.harness.soak import sample_soak_case
+        from repro.harness.soak import sample_recovery_case, sample_soak_case
 
         if args.case < 0:
             raise SystemExit(f"--case must be >= 0, got {args.case}")
-        report = soak_case_report(sample_soak_case(args.seed, args.case))
+        sample = sample_recovery_case if args.recovery else sample_soak_case
+        report = soak_case_report(sample(args.seed, args.case))
     wall = time.perf_counter() - started
 
     document = report.to_json()
@@ -474,7 +510,7 @@ def build_parser() -> argparse.ArgumentParser:
     omega.add_argument("--outage-period", type=float, default=0.0)
     omega.add_argument("--outage-growth", type=float, default=0.0)
     omega.add_argument("--crash", action="append", default=[],
-                       metavar="TIME:PID")
+                       metavar="TIME:PID[:RECOVER]")
     omega.add_argument("--faults", default="", metavar="PLAN",
                        help="nemesis FaultPlan repro string, e.g. "
                             "'pause(t=20.0,pid=1,dur=5.0)'")
@@ -493,7 +529,10 @@ def build_parser() -> argparse.ArgumentParser:
     consensus.add_argument("--gst", type=float, default=5.0)
     consensus.add_argument("--horizon", type=float, default=200.0)
     consensus.add_argument("--crash", action="append", default=[],
-                           metavar="TIME:PID")
+                           metavar="TIME:PID[:RECOVER]")
+    consensus.add_argument("--persist", action="store_true",
+                           help="acceptor state on stable storage "
+                                "(survives crash+recover bounces)")
     consensus.set_defaults(handler=cmd_consensus)
 
     log = sub.add_parser("log", help="run the replicated log")
@@ -508,6 +547,9 @@ def build_parser() -> argparse.ArgumentParser:
     log.add_argument("--gst", type=float, default=5.0)
     log.add_argument("--horizon", type=float, default=300.0)
     log.add_argument("--crash-leader-at", type=float, default=None)
+    log.add_argument("--persist", action="store_true",
+                     help="replica state on stable storage "
+                          "(survives crash+recover bounces)")
     log.set_defaults(handler=cmd_log)
 
     sweep = sub.add_parser("sweep",
@@ -537,6 +579,9 @@ def build_parser() -> argparse.ArgumentParser:
     soak_cmd.add_argument("--case", action="append", type=int, default=[],
                           metavar="INDEX",
                           help="replay only this case index (repeatable)")
+    soak_cmd.add_argument("--recovery", action="store_true",
+                          help="crash-recovery campaign: persisted stacks, "
+                               "crash+recover fault plans, control case")
     soak_cmd.add_argument("--stop-on-failure", action="store_true",
                           help="stop at the first failing campaign")
     soak_cmd.set_defaults(handler=cmd_soak)
@@ -597,6 +642,8 @@ def build_parser() -> argparse.ArgumentParser:
         "soak", help="replay one soak campaign and report it")
     rsoak.add_argument("--seed", type=int, default=0)
     rsoak.add_argument("--case", type=int, required=True, metavar="INDEX")
+    rsoak.add_argument("--recovery", action="store_true",
+                       help="sample from the crash-recovery campaign")
     rsoak.add_argument("--out", default="", help="also write JSON here")
     rsoak.set_defaults(handler=cmd_report)
 

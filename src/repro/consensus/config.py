@@ -20,13 +20,28 @@ class ConsensusConfig:
     max_batch:
         Replicated log only: how many pending commands the leader may
         open concurrently (pipelined instances).
+    backoff_cap:
+        Crash-recovery stacks only (``persist=True``): retransmissions
+        to a peer that has stayed silent back off exponentially from
+        ``tick`` up to this many seconds between attempts, so a long-down
+        peer costs O(log) traffic instead of one message per tick.  Any
+        message from the peer resets its backoff.
+    sync_latency:
+        Crash-recovery stacks only: seconds a stable-storage sync takes
+        (the window in which a crash loses buffered writes).
     """
 
     tick: float = 0.5
     max_batch: int = 8
+    backoff_cap: float = 8.0
+    sync_latency: float = 0.02
 
     def __post_init__(self) -> None:
         if self.tick <= 0:
             raise ValueError("tick must be positive")
         if self.max_batch < 1:
             raise ValueError("max_batch must be at least 1")
+        if self.backoff_cap < self.tick:
+            raise ValueError("backoff_cap must be at least one tick")
+        if self.sync_latency < 0:
+            raise ValueError("sync_latency must be non-negative")

@@ -55,6 +55,16 @@ class ConsensusNode:
         self.omega.crash()
         self.agreement.crash()
 
+    def recover(self) -> None:
+        """Bring both layers back — the machine rebooted.
+
+        Each layer is its own :class:`~repro.sim.process.Process` with
+        its own incarnation counter and (optionally) its own stable
+        storage, so both must recover.
+        """
+        self.omega.recover()
+        self.agreement.recover()
+
     def pause(self) -> None:
         """Freeze both layers — a machine stall, not a link failure."""
         self.omega.pause()
@@ -95,12 +105,16 @@ class ConsensusSystem:
         seed: int = 0,
         trace: bool = False,
         metrics_window: float = 1.0,
+        persist: bool = False,
     ) -> "ConsensusSystem":
         """Assemble a single-decree ensemble.
 
         ``links_factory`` is called twice (fresh stateful policies per
         network).  ``proposals[pid]`` is each node's initial value.
-        ``f`` is only needed by the ``"f-source"`` Omega.
+        ``f`` is only needed by the ``"f-source"`` Omega.  ``persist``
+        puts the agreement layer's state on stable storage so nodes
+        survive crash+recover (pair it with the ``"crash-recovery"``
+        Omega for a fully recovery-capable node).
         """
         if len(proposals) != n:
             raise ValueError("need exactly one proposal per process")
@@ -115,6 +129,7 @@ class ConsensusSystem:
             agreement = SingleDecreeConsensus(
                 pid, sim, ag_network, n, proposals[pid],
                 leader_of=omega.leader, config=consensus_config,
+                persist=persist,
             )
             nodes[pid] = ConsensusNode(pid, omega, agreement)
         return cls(sim, fd_network, ag_network, nodes)
@@ -131,8 +146,13 @@ class ConsensusSystem:
         seed: int = 0,
         trace: bool = False,
         metrics_window: float = 1.0,
+        persist: bool = False,
     ) -> "ConsensusSystem":
-        """Assemble a replicated-log ensemble (repeated consensus)."""
+        """Assemble a replicated-log ensemble (repeated consensus).
+
+        ``persist`` puts each replica's acceptor state and log on stable
+        storage so nodes survive crash+recover.
+        """
         from repro.consensus.replica import LogReplica  # local: avoid cycle
 
         sim = Simulation(seed=seed)
@@ -144,7 +164,8 @@ class ConsensusSystem:
         for pid in range(n):
             omega = omega_factory(pid, sim, fd_network)
             replica = LogReplica(pid, sim, ag_network, n,
-                                 leader_of=omega.leader, config=consensus_config)
+                                 leader_of=omega.leader, config=consensus_config,
+                                 persist=persist)
             nodes[pid] = ConsensusNode(pid, omega, replica)
         return cls(sim, fd_network, ag_network, nodes)
 
@@ -217,6 +238,10 @@ class ConsensusSystem:
     def crash(self, pid: int) -> None:
         """Crash one node (both layers)."""
         self.nodes[pid].crash()
+
+    def recover(self, pid: int) -> None:
+        """Recover one node (both layers)."""
+        self.nodes[pid].recover()
 
     def pause(self, pid: int) -> None:
         """Freeze one node (both layers)."""

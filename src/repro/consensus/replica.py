@@ -27,6 +27,16 @@ Safety is ballot-based exactly as in the single-decree protocol and
 does not depend on Omega; the property tests replay random schedules
 with duelling leaders, crashes and loss, asserting that committed
 prefixes never diverge.
+
+With ``persist=True`` the replica survives the crash-recovery model
+(docs/RECOVERY.md) by the same discipline as
+:class:`~repro.consensus.single.SingleDecreeConsensus`: the promise,
+every accepted ``(instance, ballot, value)``, the ballot round and the
+learned log entries live on stable storage; replies that peers count
+toward quorums — ``Promise``, ``Accepted``, and ``DecideAck`` — wait
+for the corresponding write to commit, as do a fresh ballot's prepares
+and the leader's own implicit votes.  A recovered replica rejoins as a
+follower with its acceptor state and committed prefix intact.
 """
 
 from __future__ import annotations
@@ -51,10 +61,18 @@ from repro.sim.engine import Simulation
 from repro.sim.messages import Message
 from repro.sim.network import Network
 from repro.sim.process import Process
+from repro.sim.storage import StableStorage
 
 __all__ = ["LogReplica", "NOOP"]
 
 _TICK = "tick"
+
+# Stable-storage keys (persist=True only).  Per-instance state uses
+# tuple keys so one flat store holds the whole log.
+_K_PROMISED = "promised"
+_K_ROUND = "round"
+_K_ACC = "acc"  # (("acc", instance) -> (ballot, value))
+_K_LOG = "log"  # (("log", instance) -> decided value)
 
 NOOP = None
 """Filler value proposed for recovered-but-empty slots."""
@@ -87,11 +105,17 @@ class LogReplica(Process):
         The Omega output for this node.
     config:
         Timing and pipelining knobs.
+    persist:
+        Run in the crash-recovery model: keep the acceptor state and
+        the learned log on stable storage so a
+        :meth:`~repro.sim.process.Process.recover` restores them.  Off
+        by default — crash-stop runs never touch storage.
     """
 
     def __init__(self, pid: int, sim: Simulation, network: Network, n: int,
                  leader_of: Callable[[], int],
-                 config: ConsensusConfig | None = None) -> None:
+                 config: ConsensusConfig | None = None,
+                 persist: bool = False) -> None:
         super().__init__(pid, sim, network)
         if n < 2:
             raise ValueError("n must be at least 2")
@@ -99,6 +123,15 @@ class LogReplica(Process):
         self.majority = n // 2 + 1
         self.leader_of = leader_of
         self.config = config if config is not None else ConsensusConfig()
+        self.persist = persist
+        if persist:
+            self.attach_storage(StableStorage(
+                pid, sim, hub=network.hub,
+                sync_latency=self.config.sync_latency))
+        # Bounded retransmission backoff toward silent peers — active
+        # only with persistence (crash-recovery stacks).
+        self._retry_at: dict[int, float] = {}
+        self._retry_interval: dict[int, float] = {}
 
         # Acceptor state: one promise covering all instances, plus the
         # per-instance accepted (ballot, value) map.
@@ -169,6 +202,52 @@ class LogReplica(Process):
         if key == _TICK:
             self._drive()
 
+    def on_recover(self) -> None:
+        """Come back as a fresh incarnation, rejoining as a follower.
+
+        Volatile state dies with the old incarnation.  With persistence
+        the promise, the ballot round, the accepted map and the learned
+        log come back from stable storage and the commit index is
+        recomputed; without it the replica restarts from scratch
+        (deliberate amnesia — the crash-recovery control case).
+        """
+        self.promised = BOTTOM_BALLOT
+        self.accepted = {}
+        self.log = {}
+        self.commit_index = -1
+        self.committed_ids = set()
+        self.decision_times = {}
+        self._decide_acks = {}
+        self._spread_cursor = 0
+        self.phase = PHASE_FOLLOWER
+        self.ballot = None
+        self._prepare_from = 0
+        self._promises = {}
+        self._open = {}
+        self._next_instance = 0
+        self._max_round_seen = -1
+        self.pending = OrderedDict()
+        self._retry_at = {}
+        self._retry_interval = {}
+        if self.persist:
+            storage = self.storage
+            self.promised = storage.get(_K_PROMISED, BOTTOM_BALLOT)
+            self._max_round_seen = storage.get(_K_ROUND, -1)
+            for key in storage.durable_keys():
+                if not isinstance(key, tuple):
+                    continue
+                if key[0] == _K_ACC:
+                    self.accepted[key[1]] = storage.get(key)
+                elif key[0] == _K_LOG:
+                    value = storage.get(key)
+                    self.log[key[1]] = value
+                    if value is not NOOP:
+                        self.committed_ids.add(value[0])
+            while self.commit_index + 1 in self.log:
+                self.commit_index += 1
+        self.set_periodic(_TICK, self.config.tick)
+        self._drive()
+
     # ------------------------------------------------------------------
     # Driver
     # ------------------------------------------------------------------
@@ -201,16 +280,59 @@ class LogReplica(Process):
         self.ballot = Ballot(self._max_round_seen, self.pid)
         self.phase = PHASE_PREPARING
         self._prepare_from = self.commit_index + 1
+        # Self-promise.  With persistence the write-ahead rule applies:
+        # the round and the promise must be durable before any prepare
+        # escapes (a recovered leader must never reuse a round), and the
+        # leader's own report joins the quorum only once durable.
         self.promised = max(self.promised, self.ballot)
-        self._promises = {self.pid: self._accepted_report(self._prepare_from)}
-        self._send_prepares()
-        self._maybe_assume_leadership()
+        self._promises = {}
+        if self.persist:
+            ballot = self.ballot
+            report = self._accepted_report(self._prepare_from)
+            storage = self.storage
+            storage.put(_K_PROMISED, self.promised)
+            storage.put(_K_ROUND, self._max_round_seen)
+            incarnation = self.incarnation
+
+            def launch() -> None:
+                if (self.incarnation != incarnation or self.ballot != ballot
+                        or self.phase != PHASE_PREPARING):
+                    return
+                self._promises[self.pid] = report
+                self._send_prepares()
+                self._maybe_assume_leadership()
+
+            storage.sync(on_durable=launch)
+        else:
+            self._promises[self.pid] = self._accepted_report(self._prepare_from)
+            self._send_prepares()
+            self._maybe_assume_leadership()
 
     def _send_prepares(self) -> None:
         assert self.ballot is not None
+        if self.persist and self.pid not in self._promises:
+            return  # the round's write-ahead sync is still in flight
         for peer in range(self.n):
             if peer != self.pid and peer not in self._promises:
-                self.send(peer, Prepare(self.pid, self.ballot, self._prepare_from))
+                self._retransmit(
+                    peer, Prepare(self.pid, self.ballot, self._prepare_from))
+
+    def _retransmit(self, peer: int, message: Message) -> None:
+        """Send, with bounded exponential backoff toward silent peers.
+
+        Crash-stop runs (``persist=False``) send unconditionally; with
+        persistence the interval toward a peer that never answers grows
+        from one tick up to ``config.backoff_cap``, resetting on any
+        message from it (see the single-decree twin for the rationale).
+        """
+        if self.persist:
+            if self.now < self._retry_at.get(peer, 0.0):
+                return
+            interval = self._retry_interval.get(peer, self.config.tick)
+            self._retry_at[peer] = self.now + interval
+            self._retry_interval[peer] = min(2 * interval,
+                                             self.config.backoff_cap)
+        self.send(peer, message)
 
     def _accepted_report(self, from_instance: int
                          ) -> tuple[tuple[int, tuple[Ballot, Any]], ...]:
@@ -260,8 +382,9 @@ class LogReplica(Process):
         for instance, slot in self._open.items():
             for peer in range(self.n):
                 if peer != self.pid and peer not in slot.acks:
-                    self.send(peer, Propose(self.pid, self.ballot, instance,
-                                            slot.value, self.commit_index))
+                    self._retransmit(
+                        peer, Propose(self.pid, self.ballot, instance,
+                                      slot.value, self.commit_index))
 
     def _is_in_flight(self, command_id: Hashable) -> bool:
         return any(
@@ -271,10 +394,26 @@ class LogReplica(Process):
 
     def _open_slot(self, instance: int, value: Any) -> None:
         assert self.ballot is not None
-        # Self-accept.
+        # Self-accept; with persistence the leader's own vote counts
+        # toward the quorum only once the accepted pair is durable.
         self.accepted[instance] = (self.ballot, value)
-        self._open[instance] = _OpenSlot(value, {self.pid})
-        self._maybe_close(instance)
+        if self.persist:
+            slot = _OpenSlot(value, set())
+            self._open[instance] = slot
+            self.storage.put((_K_ACC, instance), self.accepted[instance])
+            incarnation = self.incarnation
+
+            def count_self_accept() -> None:
+                if (self.incarnation != incarnation
+                        or self._open.get(instance) is not slot):
+                    return
+                slot.acks.add(self.pid)
+                self._maybe_close(instance)
+
+            self.storage.sync(on_durable=count_self_accept)
+        else:
+            self._open[instance] = _OpenSlot(value, {self.pid})
+            self._maybe_close(instance)
 
     def _maybe_close(self, instance: int) -> None:
         slot = self._open.get(instance)
@@ -282,6 +421,8 @@ class LogReplica(Process):
             return
         del self._open[instance]
         self._learn(instance, slot.value)
+        if self.persist:
+            self.storage.sync()  # liveness only; nothing waits on it
         # Only the deciding leader announces: followers learning through
         # Decide or the commit piggyback must stay silent, or everyone
         # would re-broadcast and communication efficiency would be lost.
@@ -311,7 +452,8 @@ class LogReplica(Process):
             acks = self._decide_acks[instance]
             for peer in range(self.n):
                 if peer != self.pid and peer not in acks:
-                    self.send(peer, Decide(self.pid, instance, self.log[instance]))
+                    self._retransmit(
+                        peer, Decide(self.pid, instance, self.log[instance]))
 
     def _learn(self, instance: int, value: Any) -> None:
         known = self.log.get(instance)
@@ -324,6 +466,11 @@ class LogReplica(Process):
             return
         self.log[instance] = value
         self.decision_times[instance] = self.now
+        if self.persist:
+            # Buffered here, synced by the caller: the deciding leader
+            # fires a plain sync (nothing waits on it), a follower
+            # learning through Decide defers its DecideAck on it.
+            self.storage.put((_K_LOG, instance), value)
         self.network.hub.decide(self.now, self.pid, (instance, value))
         if value is not NOOP:
             self.committed_ids.add(value[0])
@@ -336,6 +483,10 @@ class LogReplica(Process):
     # ------------------------------------------------------------------
 
     def on_message(self, message: Message) -> None:
+        if self._retry_interval:
+            # Any sign of life resets that peer's retransmission backoff.
+            self._retry_at.pop(message.sender, None)
+            self._retry_interval.pop(message.sender, None)
         if isinstance(message, Prepare):
             self._on_prepare(message)
         elif isinstance(message, Promise):
@@ -361,9 +512,12 @@ class LogReplica(Process):
         self._observe_round(message.ballot)
         if message.ballot >= self.promised:
             self.promised = message.ballot
-            self.send(message.sender, Promise(
+            reply = Promise(
                 self.pid, message.ballot, message.from_instance,
-                self._accepted_report(message.from_instance)))
+                self._accepted_report(message.from_instance))
+            if self.persist:
+                self.storage.put(_K_PROMISED, self.promised)
+            self._reply_durably(message.sender, reply)
         else:
             self.send(message.sender,
                       Nack(self.pid, message.ballot, -1, self.promised))
@@ -373,12 +527,35 @@ class LogReplica(Process):
         if message.ballot >= self.promised:
             self.promised = message.ballot
             self.accepted[message.instance] = (message.ballot, message.value)
-            self.send(message.sender,
-                      Accepted(self.pid, message.ballot, message.instance))
+            reply = Accepted(self.pid, message.ballot, message.instance)
+            if self.persist:
+                self.storage.put(_K_PROMISED, self.promised)
+                self.storage.put((_K_ACC, message.instance),
+                                 self.accepted[message.instance])
+            self._reply_durably(message.sender, reply)
             self._apply_commit_hint(message)
         else:
             self.send(message.sender, Nack(self.pid, message.ballot,
                                            message.instance, self.promised))
+
+    def _reply_durably(self, peer: int, reply: Message) -> None:
+        """Send a reply the proposer counts toward a quorum.
+
+        With persistence the reply waits until the state it reports
+        (already in the write buffer) commits to stable storage —
+        quorum intersection must survive our crashes.  Nacks promise
+        nothing and are sent directly, never through here.
+        """
+        if not self.persist:
+            self.send(peer, reply)
+            return
+        incarnation = self.incarnation
+
+        def deliver() -> None:
+            if self.incarnation == incarnation:
+                self.send(peer, reply)
+
+        self.storage.sync(on_durable=deliver)
 
     def _apply_commit_hint(self, message: Propose) -> None:
         # Safe piggyback (see module docstring): an instance at or below
@@ -390,6 +567,8 @@ class LogReplica(Process):
             if slot is not None and slot[0] == message.ballot \
                     and instance not in self.log:
                 self._learn(instance, slot[1])
+        if self.persist and self.storage.dirty:
+            self.storage.sync()  # flush piggyback-learned entries
 
     # --- leader ----------------------------------------------------------
 
@@ -423,4 +602,18 @@ class LogReplica(Process):
 
     def _on_decide(self, message: Decide) -> None:
         self._learn(message.instance, message.value)
-        self.send(message.sender, DecideAck(self.pid, message.instance))
+        if not self.persist:
+            self.send(message.sender, DecideAck(self.pid, message.instance))
+            return
+        # Ack only once the entry is durable: an acked Decide is never
+        # retransmitted, so an ack for an entry that then evaporated in
+        # a crash would leave the recovered log with a permanent hole.
+        ack = DecideAck(self.pid, message.instance)
+        sender = message.sender
+        incarnation = self.incarnation
+
+        def deliver() -> None:
+            if self.incarnation == incarnation:
+                self.send(sender, ack)
+
+        self.storage.sync(on_durable=deliver)

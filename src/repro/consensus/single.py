@@ -30,6 +30,19 @@ follows once Omega stabilizes: a single correct proposer eventually runs
 unopposed, its ballot outgrows every Nack, both quorum phases complete
 (majority of correct acceptors + fair links), and Decide reaches every
 correct peer.
+
+With ``persist=True`` the process additionally survives the
+crash-*recovery* model (docs/RECOVERY.md): the acceptor state and the
+ballot round are written to :class:`~repro.sim.storage.StableStorage`,
+and everything that *escapes* the process — a ``Promise`` or
+``Accepted`` reply, a fresh ballot's ``Prepare``, the proposer counting
+its own implicit vote — waits until the write commits.  Quorum
+intersection then keeps holding across restarts: no acceptor can forget
+a promise or vote any peer has ever observed, and no recovered proposer
+can reuse a ballot for a different value.  Without ``persist`` a
+recovered process comes back amnesiac — deliberately so; that is the
+control case the soak harness uses to demonstrate the safety violation
+stable storage exists to prevent.
 """
 
 from __future__ import annotations
@@ -52,11 +65,18 @@ from repro.sim.engine import Simulation
 from repro.sim.messages import Message
 from repro.sim.network import Network
 from repro.sim.process import Process
+from repro.sim.storage import StableStorage
 
 __all__ = ["SingleDecreeConsensus"]
 
 _TICK = "tick"
 _INSTANCE = 0  # single decree: everything lives in instance 0
+
+# Stable-storage keys (persist=True only).
+_K_PROMISED = "promised"
+_K_ACCEPTED = "accepted"
+_K_ROUND = "round"
+_K_DECISION = "decision"  # stored as (value, time) so None proposals work
 
 PHASE_IDLE = "idle"
 PHASE_PREPARE = "prepare"
@@ -82,11 +102,17 @@ class SingleDecreeConsensus(Process):
         :mod:`repro.consensus.node`; tests may pass a stub.
     config:
         Timing knobs.
+    persist:
+        Run in the crash-recovery model: keep the acceptor state (and
+        the ballot round, and any decision) on stable storage so a
+        :meth:`~repro.sim.process.Process.recover` restores it.  Off by
+        default — crash-stop runs never touch storage.
     """
 
     def __init__(self, pid: int, sim: Simulation, network: Network, n: int,
                  proposal: Any, leader_of: Callable[[], int],
-                 config: ConsensusConfig | None = None) -> None:
+                 config: ConsensusConfig | None = None,
+                 persist: bool = False) -> None:
         super().__init__(pid, sim, network)
         if n < 2:
             raise ValueError("n must be at least 2")
@@ -95,6 +121,16 @@ class SingleDecreeConsensus(Process):
         self.proposal = proposal
         self.leader_of = leader_of
         self.config = config if config is not None else ConsensusConfig()
+        self.persist = persist
+        if persist:
+            self.attach_storage(StableStorage(
+                pid, sim, hub=network.hub,
+                sync_latency=self.config.sync_latency))
+        # Bounded retransmission backoff toward silent peers — active
+        # only with persistence (crash-recovery stacks), where a peer
+        # may be down for a long stretch and come back later.
+        self._retry_at: dict[int, float] = {}
+        self._retry_interval: dict[int, float] = {}
 
         # Acceptor state.
         self.promised: Ballot = BOTTOM_BALLOT
@@ -124,6 +160,43 @@ class SingleDecreeConsensus(Process):
     def on_timer(self, key: Hashable) -> None:
         if key == _TICK:
             self._drive()
+
+    def on_recover(self) -> None:
+        """Come back as a fresh incarnation.
+
+        Everything volatile dies with the old incarnation.  With
+        persistence the acceptor state, the ballot round and any
+        decision come back from stable storage; without it this is
+        deliberate amnesia — the control case showing why Paxos needs
+        stable storage in the crash-recovery model.
+        """
+        self.phase = PHASE_IDLE
+        self.ballot = None
+        self.ballot_value = None
+        self._promises = {}
+        self._accept_acks = set()
+        self._max_round_seen = -1
+        self.promised = BOTTOM_BALLOT
+        self.accepted = None
+        self.decision = None
+        self.decision_time = None
+        self._decide_acks = set()
+        self._retry_at = {}
+        self._retry_interval = {}
+        if self.persist:
+            self.promised = self.storage.get(_K_PROMISED, BOTTOM_BALLOT)
+            self.accepted = self.storage.get(_K_ACCEPTED)
+            # The durable round was started (its prepares may have
+            # escaped), so it counts as used; rounds above it never got
+            # past the write-ahead sync and are free to reuse.
+            self._max_round_seen = self.storage.get(_K_ROUND, -1)
+            stored = self.storage.get(_K_DECISION)
+            if stored is not None:
+                self.decision, self.decision_time = stored
+        if self.decision is not None:
+            self._decide_acks = {self.pid}
+        self.set_periodic(_TICK, self.config.tick)
+        self._drive()
 
     # ------------------------------------------------------------------
     # Driver: (re)transmit whatever is outstanding
@@ -163,30 +236,72 @@ class SingleDecreeConsensus(Process):
         self.phase = PHASE_PREPARE
         self.network.hub.span_begin(self.now, self.pid, "ballot.prepare",
                                     round_number)
-        # Self-promise immediately.
+        # Self-promise.  With persistence the write-ahead rule applies:
+        # the round and the promise must be durable before anything
+        # escapes — a recovered proposer must never reuse a round
+        # (ballots propose a unique value), and our own implicit vote
+        # counts toward the quorum so it must survive our crashes.
         self.promised = max(self.promised, self.ballot)
-        self._promises = {self.pid: self.accepted}
+        self._promises = {}
         self._accept_acks = set()
-        self._send_prepares()
-        self._maybe_finish_prepare()
+        if self.persist:
+            ballot = self.ballot
+            reported = self.accepted
+            self._put_acceptor_state()
+            self.storage.put(_K_ROUND, round_number)
+            incarnation = self.incarnation
+
+            def launch() -> None:
+                if (self.incarnation != incarnation or self.ballot != ballot
+                        or self.phase != PHASE_PREPARE):
+                    return
+                self._promises[self.pid] = reported
+                self._send_prepares()
+                self._maybe_finish_prepare()
+
+            self.storage.sync(on_durable=launch)
+        else:
+            self._promises[self.pid] = self.accepted
+            self._send_prepares()
+            self._maybe_finish_prepare()
 
     def _send_prepares(self) -> None:
         assert self.ballot is not None
+        if self.persist and self.pid not in self._promises:
+            return  # the round's write-ahead sync is still in flight
         for peer in self._peers():
-            if peer not in self._promises:
-                self.send(peer, Prepare(self.pid, self.ballot, _INSTANCE))
+            if peer != self.pid and peer not in self._promises:
+                self._retransmit(peer, Prepare(self.pid, self.ballot, _INSTANCE))
 
     def _send_proposals(self) -> None:
         assert self.ballot is not None
         for peer in self._peers():
-            if peer not in self._accept_acks:
-                self.send(peer, Propose(self.pid, self.ballot, _INSTANCE,
-                                        self.ballot_value, -1))
+            if peer != self.pid and peer not in self._accept_acks:
+                self._retransmit(peer, Propose(self.pid, self.ballot, _INSTANCE,
+                                               self.ballot_value, -1))
 
     def _spread_decision(self) -> None:
         for peer in self._peers():
-            if peer not in self._decide_acks:
-                self.send(peer, Decide(self.pid, _INSTANCE, self.decision))
+            if peer != self.pid and peer not in self._decide_acks:
+                self._retransmit(peer, Decide(self.pid, _INSTANCE, self.decision))
+
+    def _retransmit(self, peer: int, message: Message) -> None:
+        """Send, with bounded exponential backoff toward silent peers.
+
+        Crash-stop runs (``persist=False``) send unconditionally — the
+        classic once-per-tick retransmission, and zero extra cost.  With
+        persistence a peer may be down for minutes; backing off from one
+        tick up to ``config.backoff_cap`` keeps the traffic toward it
+        logarithmic until it speaks again (which resets the backoff).
+        """
+        if self.persist:
+            if self.now < self._retry_at.get(peer, 0.0):
+                return
+            interval = self._retry_interval.get(peer, self.config.tick)
+            self._retry_at[peer] = self.now + interval
+            self._retry_interval[peer] = min(2 * interval,
+                                             self.config.backoff_cap)
+        self.send(peer, message)
 
     def _peers(self) -> range:
         return range(self.n)
@@ -196,6 +311,10 @@ class SingleDecreeConsensus(Process):
     # ------------------------------------------------------------------
 
     def on_message(self, message: Message) -> None:
+        if self._retry_interval:
+            # Any sign of life resets that peer's retransmission backoff.
+            self._retry_at.pop(message.sender, None)
+            self._retry_interval.pop(message.sender, None)
         if isinstance(message, Prepare):
             self._on_prepare(message)
         elif isinstance(message, Promise):
@@ -220,8 +339,9 @@ class SingleDecreeConsensus(Process):
             accepted = ()
             if self.accepted is not None:
                 accepted = ((_INSTANCE, self.accepted),)
-            self.send(message.sender,
-                      Promise(self.pid, message.ballot, _INSTANCE, accepted))
+            self._reply_durably(
+                message.sender,
+                Promise(self.pid, message.ballot, _INSTANCE, accepted))
         else:
             self.send(message.sender,
                       Nack(self.pid, message.ballot, _INSTANCE, self.promised))
@@ -231,11 +351,37 @@ class SingleDecreeConsensus(Process):
         if message.ballot >= self.promised:
             self.promised = message.ballot
             self.accepted = (message.ballot, message.value)
-            self.send(message.sender,
-                      Accepted(self.pid, message.ballot, _INSTANCE))
+            self._reply_durably(
+                message.sender,
+                Accepted(self.pid, message.ballot, _INSTANCE))
         else:
             self.send(message.sender,
                       Nack(self.pid, message.ballot, _INSTANCE, self.promised))
+
+    def _put_acceptor_state(self) -> None:
+        self.storage.put(_K_PROMISED, self.promised)
+        self.storage.put(_K_ACCEPTED, self.accepted)
+
+    def _reply_durably(self, peer: int, reply: Message) -> None:
+        """Send a reply that reports acceptor state.
+
+        With persistence the reply waits until the reported state is on
+        stable storage: the proposer will count it toward a quorum, so
+        the state must survive our crashes (quorum intersection is what
+        agreement rests on).  Nacks promise nothing and are sent
+        directly, never through here.
+        """
+        if not self.persist:
+            self.send(peer, reply)
+            return
+        self._put_acceptor_state()
+        incarnation = self.incarnation
+
+        def deliver() -> None:
+            if self.incarnation == incarnation:
+                self.send(peer, reply)
+
+        self.storage.sync(on_durable=deliver)
 
     # --- proposer ------------------------------------------------------
 
@@ -261,10 +407,26 @@ class SingleDecreeConsensus(Process):
         assert self.ballot is not None
         self.network.hub.span_begin(self.now, self.pid, "ballot.propose",
                                     self.ballot.round)
-        # Self-accept.
+        # Self-accept; with persistence our own vote counts toward the
+        # quorum only once the accepted pair is durable.
         self.promised = max(self.promised, self.ballot)
         self.accepted = (self.ballot, self.ballot_value)
-        self._accept_acks = {self.pid}
+        if self.persist:
+            ballot = self.ballot
+            self._put_acceptor_state()
+            self._accept_acks = set()
+            incarnation = self.incarnation
+
+            def count_self_accept() -> None:
+                if (self.incarnation != incarnation or self.ballot != ballot
+                        or self.phase != PHASE_PROPOSE):
+                    return
+                self._accept_acks.add(self.pid)
+                self._maybe_decide()
+
+            self.storage.sync(on_durable=count_self_accept)
+        else:
+            self._accept_acks = {self.pid}
         self._send_proposals()
         self._maybe_decide()
 
@@ -306,6 +468,13 @@ class SingleDecreeConsensus(Process):
             self.phase = PHASE_IDLE
             self._decide_acks.add(self.pid)
             self.network.hub.decide(self.now, self.pid, value)
+            if self.persist:
+                # Persisted for liveness only (a recovered process
+                # resumes spreading instead of re-running the protocol);
+                # nothing waits on this sync — if the write is lost,
+                # quorum intersection re-derives the same value.
+                self.storage.put(_K_DECISION, (value, self.now))
+                self.storage.sync()
         elif self.decision != value:  # pragma: no cover - would be a safety bug
             raise AssertionError(
                 f"process {self.pid} saw two different decisions: "

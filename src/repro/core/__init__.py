@@ -8,6 +8,9 @@ Four algorithms (see DESIGN.md §1.5 for the reconstruction notes):
   leader sends messages.
 * :class:`FSourceOmega` — R3: an ◇f-source (only f timely output links)
   suffices, via quorum-confirmed suspicion counters.
+* :class:`RecoveringOmega` — crash-recovery extension (docs/RECOVERY.md):
+  the communication-efficient algorithm with counters persisted to
+  stable storage, surviving crash+restart cycles.
 
 Plus the run checker (:func:`analyze_omega_run`,
 :func:`communication_report`) that turns a finished simulation into the
@@ -28,6 +31,7 @@ from repro.core.messages import Accusation, Alive, FsAlive, Heartbeat, Suspect
 from repro.core.omega import OmegaProtocol
 from repro.core.registry import OMEGA_ALGORITHMS, algorithm_class, make_factory
 from repro.core.qos import OmegaQoS, measure_qos, output_at
+from repro.core.recovering import RecoveringOmega
 from repro.core.relay import Relay, SeenTracker, make_relayed, origins_between
 from repro.core.source_omega import SourceOmega
 
@@ -53,6 +57,7 @@ __all__ = [
     "OmegaQoS",
     "measure_qos",
     "output_at",
+    "RecoveringOmega",
     "Relay",
     "SeenTracker",
     "make_relayed",

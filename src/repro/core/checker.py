@@ -3,8 +3,8 @@
 The Omega property and communication efficiency are *limit* statements;
 for finite runs the checker reports their finite-run analogues:
 
-* **Omega verdict** — at the end of the run, do all correct (= never
-  crashed) processes trust the same correct process?  The exact
+* **Omega verdict** — at the end of the run, do all correct (= up at
+  the end) processes trust the same correct process?  The exact
   per-process output histories recorded by
   :class:`~repro.core.omega.OmegaProtocol` give the precise
   *stabilization time*: the last instant any correct process changed its
@@ -98,9 +98,12 @@ class CommunicationReport:
 def analyze_omega_run(cluster: Cluster) -> OmegaRunReport:
     """Analyze a finished run of Omega protocols on ``cluster``.
 
-    Correct processes are those that never crashed (crash-stop model, so
-    "up at the end" is the same set).  All cluster processes must be
-    :class:`OmegaProtocol` instances.
+    Correct processes are those that are up at the end of the run.
+    Under crash-stop that is exactly "never crashed"; under the
+    crash-recovery extension it additionally counts every eventually-up
+    process — one whose last recovery stuck — as correct, which is the
+    standard correctness notion for that model.  All cluster processes
+    must be :class:`OmegaProtocol` instances.
     """
     correct = tuple(cluster.up_pids())
     protocols: dict[int, OmegaProtocol] = {}

@@ -16,6 +16,7 @@ from repro.core.comm_efficient import CommEfficientOmega
 from repro.core.config import OmegaConfig
 from repro.core.f_source import FSourceOmega
 from repro.core.omega import OmegaProtocol
+from repro.core.recovering import RecoveringOmega
 from repro.core.source_omega import SourceOmega
 from repro.sim.engine import Simulation
 from repro.sim.network import Network
@@ -27,6 +28,7 @@ OMEGA_ALGORITHMS: dict[str, type[OmegaProtocol]] = {
     "source": SourceOmega,
     "comm-efficient": CommEfficientOmega,
     "f-source": FSourceOmega,
+    "crash-recovery": RecoveringOmega,
 }
 
 ProcessFactory = Callable[[int, Simulation, Network], OmegaProtocol]

@@ -19,7 +19,9 @@ from repro.harness.soak import (
     SoakCase,
     SoakResult,
     campaign_digest,
+    recovery_control_case,
     run_soak_case,
+    sample_recovery_case,
     sample_soak_case,
     soak,
 )
@@ -40,7 +42,9 @@ __all__ = [
     "SoakCase",
     "SoakResult",
     "campaign_digest",
+    "recovery_control_case",
     "run_soak_case",
+    "sample_recovery_case",
     "sample_soak_case",
     "soak",
     "SYSTEM_NAMES",

@@ -92,8 +92,9 @@ class OmegaScenario:
     to ``len(targets)``) only matter for ``f-source``; ``sources`` only
     for ``multi-source``.
 
-    ``crashes`` keeps the historical ``(time, pid)`` shorthand; the
-    general fault language is the ``faults`` field — a
+    ``crashes`` keeps the historical ``(time, pid)`` shorthand — a
+    3-tuple ``(time, pid, recover_at)`` adds the crash-recovery bounce
+    sugar; the general fault language is the ``faults`` field — a
     :class:`~repro.sim.nemesis.FaultPlan` repro string (pauses, healing
     partitions, link storms...), scheduled alongside the crashes.
     """
@@ -105,7 +106,7 @@ class OmegaScenario:
     sources: tuple[int, ...] = ()
     targets: tuple[int, ...] = ()
     f: int | None = None
-    crashes: tuple[tuple[float, int], ...] = ()
+    crashes: tuple[tuple[float, ...], ...] = ()
     faults: str = ""
     seed: int = 0
     horizon: float = 120.0

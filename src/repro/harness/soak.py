@@ -28,6 +28,17 @@ alone — :func:`sample_soak_case` derives a private RNG stream from the
 pair, so ``python -m repro soak --seed 7 --case 12`` replays case 12 of
 campaign seed 7 exactly, and two runs of the same campaign produce
 byte-identical digests (:func:`campaign_digest`).
+
+``python -m repro soak --recovery`` switches to the *crash-recovery*
+campaign (:func:`sample_recovery_case`): every case runs the
+``"crash-recovery"`` Omega and/or persisted consensus stacks under
+plans from :func:`~repro.sim.nemesis.sample_recovery_plan` — bouncing
+processes, permanent crashes and healing partitions — and the verdicts
+use the crash-recovery notion of correctness (eventually-up counts).
+:func:`recovery_control_case` is the matching negative control: a
+scripted schedule in which an unpersisted acceptor forgets its vote and
+two processes decide differently, demonstrating the violation stable
+storage exists to prevent.
 """
 
 from __future__ import annotations
@@ -41,22 +52,29 @@ from repro.consensus import ConsensusSystem, LogWorkload, check_log, \
     check_single_decree
 from repro.core.checker import analyze_omega_run
 from repro.core.config import OmegaConfig
-from repro.core.registry import OMEGA_ALGORITHMS
 from repro.harness.scenarios import OmegaScenario
 from repro.sim.nemesis import FaultPlan, ModelEnvelope, model_violations, \
-    sample_plan
+    sample_plan, sample_recovery_plan
 from repro.sim.topology import LinkTimings, multi_source_links
 
 __all__ = [
     "SoakCase",
     "SoakResult",
     "campaign_digest",
+    "recovery_control_case",
     "run_soak_case",
+    "sample_recovery_case",
     "sample_soak_case",
     "soak",
 ]
 
 _HORIZON = 300.0
+
+# The crash-stop campaign draws from this fixed tuple, NOT from the
+# registry: adding an algorithm to the registry must never re-shuffle
+# historical (seed, index) -> case mappings.  The crash-recovery
+# algorithm has its own campaign (sample_recovery_case).
+_SOAK_OMEGAS = ("all-timely", "comm-efficient", "f-source", "source")
 
 # Consensus stacks drive their Omega layer by name; both ship with the
 # majority-quorum heartbeat detectors (f-source needs explicit targets
@@ -81,6 +99,7 @@ class SoakCase:
     fair_loss: float
     horizon: float
     plan: str                  # FaultPlan repro string
+    recovery: bool = False     # crash-recovery campaign (persisted stacks)
 
     def fault_plan(self) -> FaultPlan:
         """The campaign's nemesis plan, parsed from its repro string."""
@@ -95,6 +114,8 @@ class SoakCase:
         """One-line repro: everything needed to replay this campaign."""
         parts = [f"#{self.index} {self.kind}/{self.algorithm}"
                  f"@{self.system} n={self.n} source={self.source}"]
+        if self.recovery:
+            parts.append("recovery")
         if self.targets:
             parts.append("targets=" + ",".join(map(str, self.targets)))
         parts.append(f"f={self.f} seed={self.seed} gst={self.gst:g} "
@@ -129,7 +150,7 @@ def sample_soak_case(soak_seed: int, index: int) -> SoakCase:
     kind = rng.choice(["omega", "omega", "omega", "single-decree", "log"])
     targets: tuple[int, ...] = ()
     if kind == "omega":
-        algorithm = rng.choice(sorted(OMEGA_ALGORITHMS))
+        algorithm = rng.choice(_SOAK_OMEGAS)
         if algorithm == "all-timely":
             system = rng.choice(["all-timely", "all-et"])
             n = rng.randint(3, 7)
@@ -166,6 +187,37 @@ def sample_soak_case(soak_seed: int, index: int) -> SoakCase:
                     horizon=_HORIZON, plan=plan.to_repro())
 
 
+def sample_recovery_case(soak_seed: int, index: int) -> SoakCase:
+    """Draw campaign ``index`` of the crash-recovery soak run.
+
+    Same determinism contract as :func:`sample_soak_case`, but every
+    case exercises the crash-recovery stacks: the ``"crash-recovery"``
+    Omega for detector campaigns, and persisted consensus (driven by
+    that same Omega) for the agreement campaigns.  Plans come from
+    :func:`~repro.sim.nemesis.sample_recovery_plan` — bouncing
+    processes (sometimes the source itself), a permanent-crash budget,
+    healing partitions and degrade storms.
+    """
+    rng = random.Random(f"soak-recovery/{soak_seed}/{index}")
+    kind = rng.choice(["omega", "omega", "single-decree", "log"])
+    algorithm = "crash-recovery"
+    system = rng.choice(["source", "multi-source"]) if kind == "omega" \
+        else "consensus"
+    n = rng.randint(3, 7)
+    source = rng.randrange(n)
+    f = (n - 1) // 2
+    seed = rng.randrange(1_000_000)
+    gst = round(rng.uniform(0.0, 8.0), 2)
+    fair_loss = round(rng.uniform(0.0, 0.4), 2)
+    envelope = ModelEnvelope(n=n, source=source, f=f, gst=gst,
+                             horizon=_HORIZON)
+    plan = sample_recovery_plan(rng, envelope)
+    return SoakCase(index=index, kind=kind, algorithm=algorithm,
+                    system=system, n=n, source=source, targets=(),
+                    f=f, seed=seed, gst=gst, fair_loss=fair_loss,
+                    horizon=_HORIZON, plan=plan.to_repro(), recovery=True)
+
+
 def run_soak_case(case: SoakCase) -> SoakResult:
     """Judge one campaign: model check first, then run and check invariants.
 
@@ -199,13 +251,31 @@ def _execute_omega(case: SoakCase, timings: LinkTimings) -> tuple[bool, str]:
         f=case.f if case.algorithm == "f-source" else None,
         faults=case.plan, seed=case.seed, horizon=case.horizon,
         timings=timings, config=OmegaConfig())
-    report = scenario.run().report
+    outcome = scenario.run()
+    report = outcome.report
     if not report.verdict():
         return False, f"omega violated: outputs={report.final_outputs}"
-    if report.final_leader in case.fault_plan().crashed_pids:
-        return False, f"crashed leader {report.final_leader} trusted"
-    return True, (f"leader={report.final_leader} "
-                  f"stab={report.stabilization_time:.1f}s")
+    # A pid that recovered and stayed up is eventually-up — a legitimate
+    # leader; only pids still down at the end may not be trusted.
+    if report.final_leader in case.fault_plan().down_pids():
+        return False, f"down leader {report.final_leader} trusted"
+    detail = (f"leader={report.final_leader} "
+              f"stab={report.stabilization_time:.1f}s")
+    if case.recovery:
+        detail += " " + _storage_detail(
+            outcome.cluster.process(pid) for pid in outcome.cluster.pids)
+    return True, detail
+
+
+def _storage_detail(processes) -> str:  # noqa: ANN001 - any Process iterable
+    """Aggregate stable-storage traffic across an ensemble, one token."""
+    syncs = lost = 0
+    for process in processes:
+        storage = getattr(process, "_storage", None)
+        if storage is not None:
+            syncs += storage.syncs_ok + storage.syncs_failed
+            lost += storage.batches_lost
+    return f"storage[syncs={syncs} lost_batches={lost}]"
 
 
 def _execute_single_decree(case: SoakCase,
@@ -214,14 +284,18 @@ def _execute_single_decree(case: SoakCase,
         case.n,
         lambda: multi_source_links(case.n, (case.source,), timings),
         proposals=[f"v{pid}" for pid in range(case.n)],
-        omega_name=case.algorithm, seed=case.seed)
+        omega_name=case.algorithm, seed=case.seed, persist=case.recovery)
     case.fault_plan().schedule(system)
     system.start_all()
     system.run_until(case.horizon)
     report = check_single_decree(system)
     if report.verdict():
-        return True, (f"decided {next(iter(report.decided.values()))!r} "
-                      f"by {report.latest_decision:.1f}s")
+        detail = (f"decided {next(iter(report.decided.values()))!r} "
+                  f"by {report.latest_decision:.1f}s")
+        if case.recovery:
+            detail += " " + _storage_detail(
+                node.agreement for node in system.nodes.values())
+        return True, detail
     if not (report.agreement and report.validity):
         return False, "safety violated"
     return False, (f"liveness: decided={sorted(report.decided)} "
@@ -232,7 +306,7 @@ def _execute_log(case: SoakCase, timings: LinkTimings) -> tuple[bool, str]:
     system = ConsensusSystem.build_replicated_log(
         case.n,
         lambda: multi_source_links(case.n, (case.source,), timings),
-        omega_name=case.algorithm, seed=case.seed)
+        omega_name=case.algorithm, seed=case.seed, persist=case.recovery)
     workload = LogWorkload(system, count=12, period=0.6, start=3.0)
     case.fault_plan().schedule(system)
     system.start_all()
@@ -242,7 +316,62 @@ def _execute_log(case: SoakCase, timings: LinkTimings) -> tuple[bool, str]:
         return False, f"safety violated: {report.divergences}"
     if not workload.done():
         return False, "liveness: commands missing"
-    return True, f"committed {report.max_committed} entries"
+    detail = f"committed {report.max_committed} entries"
+    if case.recovery:
+        detail += " " + _storage_detail(
+            node.agreement for node in system.nodes.values())
+    return True, detail
+
+
+def recovery_control_case(persist: bool = False) -> tuple[bool, str]:
+    """The negative control: Paxos without stable storage loses safety.
+
+    A scripted three-process schedule, deterministic by construction:
+
+    1. ``p2`` is down from the start; ``p0`` leads and decides ``v0``
+       with the quorum ``{p0, p1}``.
+    2. ``p0`` crashes for good (its memory of the decision survives for
+       the checker, as crash-stop memory does).
+    3. ``p1`` bounces.  Without persistence the recovery wipes its
+       promise, its accepted value *and* its decision — the amnesia at
+       the heart of the crash-recovery model.
+    4. ``p2`` recovers and leads.  Its prepare quorum ``{p1, p2}``
+       intersects the decision quorum only in the amnesiac ``p1``,
+       which reports nothing — so ``p2`` freely decides ``v2``.
+
+    Returns ``(agreement_held, detail)``: ``False`` with
+    ``persist=False`` (the violation), ``True`` with ``persist=True``
+    (the same schedule, healed by stable storage).
+    """
+    from repro.consensus.single import SingleDecreeConsensus
+    from repro.sim.engine import Simulation
+    from repro.sim.network import Network
+    from repro.sim.topology import all_timely_links, apply_links
+
+    leader = [0]
+    sim = Simulation(seed=0)
+    network = Network(sim)
+    apply_links(network, all_timely_links(3))
+    processes = [
+        SingleDecreeConsensus(pid, sim, network, 3, f"v{pid}",
+                              leader_of=lambda: leader[0], persist=persist)
+        for pid in range(3)
+    ]
+    for process in processes:
+        process.start()
+    processes[2].crash()       # sleeps through the first decision
+    sim.run_until(10.0)        # p0 decides v0 with quorum {p0, p1}
+    processes[0].crash()       # the decider goes down for good
+    processes[1].crash()       # p1 bounces; amnesia unless persisted
+    sim.run_until(12.0)        # in-flight traffic drains into down nodes
+    processes[1].recover()
+    processes[2].recover()
+    leader[0] = 2
+    sim.run_until(60.0)
+    decided = {process.pid: process.decision for process in processes
+               if process.decision is not None}
+    agreement = len(set(decided.values())) <= 1
+    return agreement, f"decisions {decided}"
 
 
 def campaign_digest(cases: list[SoakCase]) -> str:
@@ -257,19 +386,21 @@ def campaign_digest(cases: list[SoakCase]) -> str:
 
 def soak(cases: int | None = None, minutes: float | None = None,
          soak_seed: int = 0, stop_on_failure: bool = False,
-         only: tuple[int, ...] = ()) -> list[SoakResult]:
+         only: tuple[int, ...] = (), recovery: bool = False) -> list[SoakResult]:
     """Run a soak campaign; returns one result per executed case.
 
     Exactly one of ``cases`` (fixed count) or ``minutes`` (wall-clock
     budget, sampling case after case until it runs out) must be given.
     ``only`` restricts execution to the named case indices — the replay
-    path behind ``python -m repro soak --case N``.
+    path behind ``python -m repro soak --case N``.  ``recovery``
+    switches to the crash-recovery campaign (see module docstring).
     """
     if (cases is None) == (minutes is None):
         raise ValueError("pass exactly one of cases= or minutes=")
     if cases is not None and cases < 1:
         raise ValueError("cases must be positive")
 
+    sample = sample_recovery_case if recovery else sample_soak_case
     results = []
     deadline = None if minutes is None else time.monotonic() + minutes * 60.0
     index = 0
@@ -280,7 +411,7 @@ def soak(cases: int | None = None, minutes: float | None = None,
             break
         if only and index > max(only):
             break
-        case = sample_soak_case(soak_seed, index)
+        case = sample(soak_seed, index)
         index += 1
         if only and case.index not in only:
             continue

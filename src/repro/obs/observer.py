@@ -43,8 +43,10 @@ _EVENT_KINDS = (
     "deliver",
     "drop",
     "crash",
+    "recover",
     "pause",
     "resume",
+    "sync",
     "leader_change",
     "decide",
     "span_begin",
@@ -73,7 +75,13 @@ class Observer:
         """A message was dropped (``reason`` as in :class:`~repro.sim.trace.DropRecord`)."""
 
     def on_crash(self, time: float, pid: int) -> None:
-        """Process ``pid`` crashed (crash-stop: permanent)."""
+        """Process ``pid`` crashed (down until a possible recovery)."""
+
+    def on_recover(self, time: float, pid: int, incarnation: int) -> None:
+        """Process ``pid`` recovered as ``incarnation`` (see :meth:`~repro.sim.process.Process.recover`)."""
+
+    def on_sync(self, time: float, pid: int, keys: tuple, ok: bool) -> None:
+        """Process ``pid``'s stable storage committed (or failed) a sync batch."""
 
     def on_pause(self, time: float, pid: int) -> None:
         """Process ``pid`` was frozen (see :meth:`~repro.sim.process.Process.pause`)."""
@@ -169,6 +177,16 @@ class ObserverHub:
         """Dispatch a process crash to all interested observers."""
         for callback in self.crash_cbs:
             callback(time, pid)
+
+    def recover(self, time: float, pid: int, incarnation: int) -> None:
+        """Dispatch a process recovery."""
+        for callback in self.recover_cbs:
+            callback(time, pid, incarnation)
+
+    def sync(self, time: float, pid: int, keys: tuple, ok: bool) -> None:
+        """Dispatch a stable-storage sync completion."""
+        for callback in self.sync_cbs:
+            callback(time, pid, keys, ok)
 
     def pause(self, time: float, pid: int) -> None:
         """Dispatch a process pause."""

@@ -25,6 +25,13 @@ Layout (``repro-report/v1``)
     Every Omega output change: ``[{time, pid, leader}, ...]``.
 ``decides`` / ``crashes``
     Consensus decisions and process crashes, time-ordered.
+``recoveries``
+    Process recoveries and stable-storage activity: total ``count``,
+    the time-ordered ``events`` (``{time, pid, incarnation}``), the
+    per-process incarnation ``timelines``, and the ``storage`` sync
+    tally (``syncs_ok`` / ``syncs_failed``).  A consensus node's two
+    layers recover as two processes, so — exactly like ``crashes`` —
+    one node reboot contributes one event per observed layer.
 ``spans``
     Per span name: count, total/mean/max duration, still-open count —
     election epochs and ballot phases.
@@ -105,6 +112,9 @@ class RunRecorder(Observer):
         self.leader_timeline: list[tuple[float, int, int]] = []
         self.decides: list[tuple[float, int, Any]] = []
         self.crashes: list[tuple[float, int]] = []
+        self.recovers: list[tuple[float, int, int]] = []
+        self.syncs_ok = 0
+        self.syncs_failed = 0
         self.pauses: list[tuple[float, int]] = []
         self.resumes: list[tuple[float, int]] = []
         self.closed_spans: list[dict[str, Any]] = []
@@ -124,6 +134,17 @@ class RunRecorder(Observer):
     def on_crash(self, time: float, pid: int) -> None:
         """Record the crash instant."""
         self.crashes.append((time, pid))
+
+    def on_recover(self, time: float, pid: int, incarnation: int) -> None:
+        """Record the recovery and the incarnation it came back as."""
+        self.recovers.append((time, pid, incarnation))
+
+    def on_sync(self, time: float, pid: int, keys: tuple, ok: bool) -> None:
+        """Tally the stable-storage sync outcome."""
+        if ok:
+            self.syncs_ok += 1
+        else:
+            self.syncs_failed += 1
 
     def on_pause(self, time: float, pid: int) -> None:
         """Record the pause instant."""
@@ -301,6 +322,12 @@ class RunReport:
             key=lambda event: (event[0], event[1]))
         crashes = sorted(
             (event for r in recorders for event in r.crashes))
+        recovers = sorted(
+            (event for r in recorders for event in r.recovers))
+        timelines: dict[int, list[dict[str, Any]]] = {}
+        for (t, pid, incarnation) in recovers:
+            timelines.setdefault(pid, []).append(
+                {"time": round(t, 6), "incarnation": incarnation})
         document: dict[str, Any] = {
             "schema": REPORT_SCHEMA,
             "kind": self.kind,
@@ -321,6 +348,19 @@ class RunReport:
                 for (t, pid, value) in decides],
             "crashes": [{"time": round(t, 6), "pid": pid}
                         for (t, pid) in crashes],
+            "recoveries": {
+                "count": len(recovers),
+                "events": [
+                    {"time": round(t, 6), "pid": pid,
+                     "incarnation": incarnation}
+                    for (t, pid, incarnation) in recovers],
+                "timelines": {str(pid): events
+                              for pid, events in sorted(timelines.items())},
+                "storage": {
+                    "syncs_ok": sum(r.syncs_ok for r in recorders),
+                    "syncs_failed": sum(r.syncs_failed for r in recorders),
+                },
+            },
             "spans": _span_summary(recorders),
             "networks": [self._network_block(label, network)
                          for label, network in self.networks],
@@ -436,7 +476,8 @@ def soak_case_report(case: Any, wall_s: float | None = None) -> RunReport:
 _TOP_LEVEL = {
     "schema": str, "kind": str, "target": str, "params": dict,
     "verdict": dict, "sim": dict, "leader_timeline": list,
-    "decides": list, "crashes": list, "spans": dict, "networks": list,
+    "decides": list, "crashes": list, "recoveries": dict, "spans": dict,
+    "networks": list,
 }
 
 
@@ -481,6 +522,25 @@ def validate_report(document: dict[str, Any]) -> list[str]:
         if set(entry) != {"time", "pid", "leader"}:
             problems.append(f"leader_timeline[{index}] keys {sorted(entry)}")
             break
+    recoveries = document["recoveries"]
+    for key, expected_type in (("count", int), ("events", list),
+                               ("timelines", dict), ("storage", dict)):
+        if not isinstance(recoveries.get(key), expected_type):
+            problems.append(
+                f"recoveries.{key} must be {expected_type.__name__}")
+    if isinstance(recoveries.get("events"), list):
+        if recoveries.get("count") != len(recoveries["events"]):
+            problems.append("recoveries.count != len(recoveries.events)")
+        for index, entry in enumerate(recoveries["events"]):
+            if set(entry) != {"time", "pid", "incarnation"}:
+                problems.append(
+                    f"recoveries.events[{index}] keys {sorted(entry)}")
+                break
+    storage = recoveries.get("storage")
+    if isinstance(storage, dict):
+        for key in ("syncs_ok", "syncs_failed"):
+            if not isinstance(storage.get(key), int):
+                problems.append(f"recoveries.storage.{key} must be int")
     for index, block in enumerate(document["networks"]):
         where = f"networks[{index}]"
         if "label" not in block or "message_budget" not in block:
@@ -527,6 +587,17 @@ def render_report_text(document: dict[str, Any]) -> str:
     if profile:
         lines.append("  kernel: " + "  ".join(
             f"{key}={value:,}" for key, value in sorted(profile.items())))
+    recoveries = document.get("recoveries") or {}
+    if recoveries.get("count") or recoveries.get("storage", {}).get(
+            "syncs_ok") or recoveries.get("storage", {}).get("syncs_failed"):
+        storage = recoveries.get("storage", {})
+        finals = ", ".join(
+            f"pid {pid}→{events[-1]['incarnation']}"
+            for pid, events in recoveries.get("timelines", {}).items())
+        lines.append(f"  recoveries: {recoveries.get('count', 0)}"
+                     + (f" ({finals})" if finals else "")
+                     + f"  storage syncs ok={storage.get('syncs_ok', 0)}"
+                     f" failed={storage.get('syncs_failed', 0)}")
 
     timeline = document["leader_timeline"]
     if timeline:

@@ -31,15 +31,20 @@ from repro.sim.nemesis import (
     Nemesis,
     PartitionFault,
     PauseFault,
+    ProcessClasses,
+    RecoverFault,
     model_violations,
     parse_event,
+    process_classes,
     sample_plan,
+    sample_recovery_plan,
 )
 from repro.sim.messages import Message
 from repro.sim.metrics import MetricsCollector, WindowStats
 from repro.sim.network import Network, NetworkError
-from repro.sim.process import Process
+from repro.sim.process import Process, ProcessError
 from repro.sim.rng import RngFabric
+from repro.sim.storage import StableStorage, StorageError
 from repro.sim.topology import (
     LinkTimings,
     all_eventually_timely_links,
@@ -83,9 +88,13 @@ __all__ = [
     "Nemesis",
     "PartitionFault",
     "PauseFault",
+    "ProcessClasses",
+    "RecoverFault",
     "model_violations",
     "parse_event",
+    "process_classes",
     "sample_plan",
+    "sample_recovery_plan",
     "DegradedWindow",
     "PerturbedLink",
     "DeadLink",
@@ -100,7 +109,10 @@ __all__ = [
     "Network",
     "NetworkError",
     "Process",
+    "ProcessError",
     "RngFabric",
+    "StableStorage",
+    "StorageError",
     "LinkTimings",
     "all_eventually_timely_links",
     "all_timely_links",

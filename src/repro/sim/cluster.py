@@ -136,11 +136,11 @@ class Cluster:
         return self.processes[pid]
 
     def up_pids(self) -> list[int]:
-        """Pids of processes that have not crashed."""
+        """Pids of processes that are currently up (never crashed, or recovered)."""
         return [pid for pid in self.pids if not self.processes[pid].crashed]
 
     def crashed_pids(self) -> list[int]:
-        """Pids of crashed processes."""
+        """Pids of processes that are currently down."""
         return [pid for pid in self.pids if self.processes[pid].crashed]
 
     # ------------------------------------------------------------------
@@ -177,6 +177,10 @@ class Cluster:
         """Crash several processes immediately."""
         for pid in pids:
             self.crash(pid)
+
+    def recover(self, pid: int) -> None:
+        """Recover one down process as a fresh incarnation (see :meth:`Process.recover`)."""
+        self.processes[pid].recover()
 
     def pause(self, pid: int) -> None:
         """Freeze one process (see :meth:`Process.pause`)."""

@@ -5,7 +5,13 @@ This module generalizes the scripted crash injection of
 :class:`FaultPlan` is an ordered script of typed fault events —
 
 :class:`CrashFault`
-    Crash-stop a process at a time (subsumes ``CrashPlan``).
+    Crash a process at a time (subsumes ``CrashPlan``); with
+    ``recover_at`` set, the process later comes back as a fresh
+    incarnation (crash-recovery).
+
+:class:`RecoverFault`
+    Recover a down process at a time — the standalone spelling of the
+    ``recover_at`` sugar, for plans scripted event by event.
 
 :class:`PauseFault`
     Freeze a process for a duration: it stops sending and dispatching
@@ -58,6 +64,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "FaultEvent",
     "CrashFault",
+    "RecoverFault",
     "PauseFault",
     "PartitionFault",
     "DegradeFault",
@@ -66,9 +73,12 @@ __all__ = [
     "FaultPlan",
     "FaultPlanError",
     "ModelEnvelope",
+    "ProcessClasses",
     "model_violations",
+    "process_classes",
     "Nemesis",
     "sample_plan",
+    "sample_recovery_plan",
     "parse_event",
 ]
 
@@ -168,16 +178,62 @@ class FaultEvent:
 
 @dataclass(frozen=True)
 class CrashFault(FaultEvent):
-    """Crash-stop ``pid`` at ``time``."""
+    """Crash ``pid`` at ``time``; with ``recover_at``, bounce it back up.
+
+    ``recover_at=None`` is the classic crash-stop departure.  Setting it
+    schedules a matching recovery — sugar for a ``CrashFault`` plus a
+    :class:`RecoverFault` — making the downtime a single event with a
+    single repro token, ``crash(t=...,pid=...,recover=...)``.
+    """
 
     time: float
     pid: int
+    recover_at: float | None = None
 
     kind: ClassVar[str] = "crash"
 
     def __post_init__(self) -> None:
         if self.time < 0:
             raise FaultPlanError(f"crash time must be >= 0, got {self.time}")
+        if self.recover_at is not None and self.recover_at <= self.time:
+            raise FaultPlanError(
+                f"recover_at={self.recover_at} must come after the crash "
+                f"at t={self.time}")
+
+    def window(self) -> tuple[float, float]:
+        # A final departure disturbs nothing afterwards; a bounce keeps
+        # the process down for the whole [crash, recover) interval.
+        return (self.time, self.time if self.recover_at is None
+                else self.recover_at)
+
+    def pids(self) -> frozenset[int]:
+        return frozenset((self.pid,))
+
+    def to_repro(self) -> str:
+        base = f"crash(t={_fmt(self.time)},pid={self.pid}"
+        if self.recover_at is not None:
+            return base + f",recover={_fmt(self.recover_at)})"
+        return base + ")"
+
+    def schedule(self, target: object) -> None:
+        target.sim.call_at(self.time, lambda: target.crash(self.pid))
+        if self.recover_at is not None:
+            target.sim.call_at(self.recover_at,
+                               lambda: target.recover(self.pid))
+
+
+@dataclass(frozen=True)
+class RecoverFault(FaultEvent):
+    """Recover the down process ``pid`` at ``time`` (fresh incarnation)."""
+
+    time: float
+    pid: int
+
+    kind: ClassVar[str] = "recover"
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise FaultPlanError(f"recover time must be >= 0, got {self.time}")
 
     def window(self) -> tuple[float, float]:
         return (self.time, self.time)
@@ -186,10 +242,10 @@ class CrashFault(FaultEvent):
         return frozenset((self.pid,))
 
     def to_repro(self) -> str:
-        return f"crash(t={_fmt(self.time)},pid={self.pid})"
+        return f"recover(t={_fmt(self.time)},pid={self.pid})"
 
     def schedule(self, target: object) -> None:
-        target.sim.call_at(self.time, lambda: target.crash(self.pid))
+        target.sim.call_at(self.time, lambda: target.recover(self.pid))
 
 
 @dataclass(frozen=True)
@@ -383,6 +439,7 @@ _EVENT_RE = re.compile(r"^(\w+)\((.*)\)$")
 
 _EVENT_KINDS: dict[str, type[FaultEvent]] = {
     "crash": CrashFault,
+    "recover": RecoverFault,
     "pause": PauseFault,
     "partition": PartitionFault,
     "degrade": DegradeFault,
@@ -414,7 +471,12 @@ def parse_event(text: str) -> FaultEvent:
 
 def _build_event(kind: str, fields: dict[str, str]) -> FaultEvent:
     if kind == "crash":
-        return CrashFault(time=float(fields["t"]), pid=int(fields["pid"]))
+        recover_at = (float(fields["recover"]) if "recover" in fields
+                      else None)
+        return CrashFault(time=float(fields["t"]), pid=int(fields["pid"]),
+                          recover_at=recover_at)
+    if kind == "recover":
+        return RecoverFault(time=float(fields["t"]), pid=int(fields["pid"]))
     if kind == "pause":
         return PauseFault(time=float(fields["t"]), pid=int(fields["pid"]),
                           duration=float(fields["dur"]))
@@ -458,20 +520,55 @@ class FaultPlan:
     def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
         self.events: tuple[FaultEvent, ...] = tuple(
             sorted(events, key=lambda e: (e.window()[0], e.kind, e.to_repro())))
-        crashed: set[int] = set()
-        for event in self.events:
+        self._lifecycle = self._validate_lifecycle(self.events)
+
+    @staticmethod
+    def _validate_lifecycle(
+        events: tuple[FaultEvent, ...],
+    ) -> dict[int, tuple[tuple[float, str], ...]]:
+        """Check per-pid crash/recover alternation; return the transitions.
+
+        A pid may crash only while up and recover only while down, so a
+        plan is a well-formed lifecycle script: crash-stop plans (no
+        recoveries) degenerate to "each pid crashes at most once".
+        """
+        transitions: dict[int, list[tuple[float, str]]] = {}
+        for event in events:
             if isinstance(event, CrashFault):
-                if event.pid in crashed:
+                steps = transitions.setdefault(event.pid, [])
+                steps.append((event.time, "crash"))
+                if event.recover_at is not None:
+                    steps.append((event.recover_at, "recover"))
+            elif isinstance(event, RecoverFault):
+                transitions.setdefault(event.pid, []).append(
+                    (event.time, "recover"))
+        for pid, steps in transitions.items():
+            steps.sort()  # "crash" < "recover" breaks same-time ties
+            down = False
+            for when, what in steps:
+                if what == "crash" and down:
                     raise FaultPlanError(
-                        f"pid {event.pid} crashes twice (crash-stop model)")
-                crashed.add(event.pid)
+                        f"pid {pid} crashes at t={when:g} while already "
+                        f"down; schedule a recover first")
+                if what == "recover" and not down:
+                    raise FaultPlanError(
+                        f"pid {pid} recovers at t={when:g} while up; "
+                        f"recovery requires a preceding crash")
+                down = what == "crash"
+        return {pid: tuple(steps) for pid, steps in transitions.items()}
 
     # -- constructors ---------------------------------------------------
 
     @classmethod
-    def crashes_at(cls, *pairs: tuple[float, int]) -> "FaultPlan":
-        """A pure-crash plan from ``(time, pid)`` pairs (à la CrashPlan)."""
-        return cls([CrashFault(time, pid) for time, pid in pairs])
+    def crashes_at(cls, *pairs: tuple[float, ...]) -> "FaultPlan":
+        """A pure-crash plan from ``(time, pid)`` pairs (à la CrashPlan).
+
+        A 3-tuple ``(time, pid, recover_at)`` schedules the bounce sugar
+        instead: crash at ``time``, recover at ``recover_at``.
+        """
+        return cls([CrashFault(spec[0], int(spec[1]),
+                               recover_at=spec[2] if len(spec) > 2 else None)
+                    for spec in pairs])
 
     @classmethod
     def from_repro(cls, text: str) -> "FaultPlan":
@@ -482,7 +579,7 @@ class FaultPlan:
 
     @property
     def crashed_pids(self) -> set[int]:
-        """Pids that eventually crash under this plan."""
+        """Pids that crash at least once under this plan (recovered or not)."""
         return {event.pid for event in self.events
                 if isinstance(event, CrashFault)}
 
@@ -491,6 +588,20 @@ class FaultPlan:
         """The crash subset, in schedule order."""
         return tuple(event for event in self.events
                      if isinstance(event, CrashFault))
+
+    def lifecycle(self) -> dict[int, tuple[tuple[float, str], ...]]:
+        """Per-pid ``(time, "crash" | "recover")`` transitions, time-ordered."""
+        return dict(self._lifecycle)
+
+    def down_pids(self) -> set[int]:
+        """Pids that end the plan down (crashed with no later recovery)."""
+        return {pid for pid, steps in self._lifecycle.items()
+                if steps[-1][1] == "crash"}
+
+    def recovering_pids(self) -> set[int]:
+        """Pids that recover at least once under this plan."""
+        return {pid for pid, steps in self._lifecycle.items()
+                if any(what == "recover" for _, what in steps)}
 
     def involved_pids(self) -> frozenset[int]:
         """Every pid any event touches directly or via a link pair."""
@@ -521,9 +632,10 @@ class FaultPlan:
         for event in self.events:
             unknown = (event.pids() | self.involved_link_pids(event)) - known
             if unknown:
+                pid = min(unknown)
                 raise FaultPlanError(
-                    f"{event.to_repro()} targets unknown pids "
-                    f"{sorted(unknown)}; target owns {sorted(known)}")
+                    f"{event.to_repro()} references pid {pid}, but the "
+                    f"target owns pids 0..{len(known) - 1} (n={len(known)})")
             if event.window()[0] < now:
                 raise FaultPlanError(
                     f"{event.to_repro()} starts in the past "
@@ -612,34 +724,112 @@ class ModelEnvelope:
         """Latest time a disturbance may end and stay in-model."""
         return self.horizon * (1.0 - self.heal_margin)
 
+    def classes(self, plan: FaultPlan) -> "ProcessClasses":
+        """Classify ``plan``'s processes (see :func:`process_classes`)."""
+        return process_classes(plan, self)
+
+
+@dataclass(frozen=True)
+class ProcessClasses:
+    """Crash-recovery process classes of one plan under one envelope.
+
+    The crash-recovery literature (Aguilera et al.; Larrea's line of
+    leader-election papers) splits processes into the classes below;
+    *correct* in the extended model means always-up or eventually-up.
+
+    Attributes
+    ----------
+    always_up:
+        Never crash.
+    eventually_up:
+        Crash at least once but are up at the end, with their final
+        recovery landing by ``envelope.heal_by`` — the crash-recovery
+        analogue of a healed disturbance.
+    eventually_down:
+        Crash and never recover (the classic crash-stop departures).
+    unstable:
+        Still churning past ``heal_by``: recovered processes whose last
+        lifecycle transition lands too late for "eventually" to have
+        room before the horizon.  Any unstable process puts the run
+        out of model.
+    """
+
+    always_up: tuple[int, ...]
+    eventually_up: tuple[int, ...]
+    eventually_down: tuple[int, ...]
+    unstable: tuple[int, ...]
+
+    @property
+    def correct(self) -> tuple[int, ...]:
+        """Processes a crash-recovery algorithm must serve: up at the end."""
+        return tuple(sorted(set(self.always_up) | set(self.eventually_up)))
+
+
+def process_classes(plan: FaultPlan,
+                    envelope: ModelEnvelope) -> ProcessClasses:
+    """Classify every pid of ``envelope`` by ``plan``'s lifecycle script."""
+    lifecycle = plan.lifecycle()
+    always_up, eventually_up, eventually_down, unstable = [], [], [], []
+    for pid in range(envelope.n):
+        steps = lifecycle.get(pid)
+        if not steps:
+            always_up.append(pid)
+            continue
+        last_time, last_what = steps[-1]
+        if last_what == "crash":
+            eventually_down.append(pid)
+        elif last_time <= envelope.heal_by:
+            eventually_up.append(pid)
+        else:
+            unstable.append(pid)
+    return ProcessClasses(tuple(always_up), tuple(eventually_up),
+                          tuple(eventually_down), tuple(unstable))
+
 
 def model_violations(plan: FaultPlan, envelope: ModelEnvelope) -> list[str]:
     """Why ``plan`` exits the model of ``envelope`` (empty = in-model).
 
-    The rules mirror the paper's assumptions: at most ``f`` crashes,
-    the designated ◇source never crashes, and every temporary
-    disturbance (partition, pause, degradation, flapping) heals by
-    ``envelope.heal_by`` — a healed burst of loss or delay is legal on
-    every link type, but one that persists to the horizon denies the
-    "eventually" in eventually-timely and the fairness of fair-lossy
-    links.  Duplication only adds copies and never violates the model.
+    The rules mirror the paper's assumptions, extended to crash-recovery:
+    at most ``f`` *eventually-down* processes, the designated ◇source
+    never permanently crashes (a bounce that heals by ``heal_by`` is a
+    disturbance, not a departure), no process keeps churning past
+    ``heal_by`` (unstable), and every temporary disturbance (partition,
+    pause, degradation, flapping — including crash+recover downtime)
+    heals by ``envelope.heal_by`` — a healed burst of loss or delay is
+    legal on every link type, but one that persists to the horizon
+    denies the "eventually" in eventually-timely and the fairness of
+    fair-lossy links.  Duplication only adds copies and never violates
+    the model.
     """
     issues: list[str] = []
-    crashed = plan.crashed_pids
-    if envelope.source in crashed:
+    classes = process_classes(plan, envelope)
+    eventually_down = set(classes.eventually_down)
+    if envelope.source in eventually_down:
         issues.append(
-            f"crashes the designated ◇source {envelope.source}")
-    if len(crashed) > envelope.f:
+            f"crashes the designated ◇source {envelope.source} "
+            f"without recovering")
+    if envelope.source in classes.unstable:
         issues.append(
-            f"{len(crashed)} crashes exceed the fault bound f={envelope.f}")
+            f"the designated ◇source {envelope.source} is unstable "
+            f"(still bouncing past t={envelope.heal_by:g})")
+    if len(eventually_down) > envelope.f:
+        issues.append(
+            f"{len(eventually_down)} permanent crashes exceed the fault "
+            f"bound f={envelope.f}")
+    for pid in classes.unstable:
+        if pid == envelope.source:
+            continue
+        issues.append(
+            f"pid {pid} is unstable: its last crash/recover transition "
+            f"lands past t={envelope.heal_by:g}")
     out_of_range = {pid for pid in plan.involved_pids()
                     if not 0 <= pid < envelope.n}
     if out_of_range:
         issues.append(f"references pids {sorted(out_of_range)} outside "
                       f"0..{envelope.n - 1}")
     for event in plan:
-        if isinstance(event, (CrashFault, DuplicateFault)):
-            continue
+        if isinstance(event, (CrashFault, RecoverFault, DuplicateFault)):
+            continue  # downtime windows are judged via the process classes
         start, end = event.window()
         if end > envelope.heal_by:
             issues.append(
@@ -731,6 +921,75 @@ def sample_plan(rng: random.Random, envelope: ModelEnvelope) -> FaultPlan:
         events.append(DuplicateFault(
             start, end, sample_pairs(rng.randint(1, 3)),
             p=round(rng.uniform(0.1, 0.5), 2)))
+
+    return FaultPlan(events)
+
+
+def sample_recovery_plan(rng: random.Random,
+                         envelope: ModelEnvelope) -> FaultPlan:
+    """Draw one random crash-recovery plan that is in-model for ``envelope``.
+
+    Unlike :func:`sample_plan` (which is pure crash-stop and keeps the
+    historical campaign streams byte-stable), every plan from this
+    sampler bounces at least one process — crash, downtime, recovery —
+    with all recoveries landing by ``envelope.heal_by`` so the bounced
+    processes are *eventually up*.  The source itself may bounce (legal
+    in the extended model), a bounded set of other processes may depart
+    permanently (≤ f), and partitions/degradations ride along to stress
+    the recovery paths under message loss.  Unsynced-write loss needs no
+    dedicated event: any crash landing between a storage ``put`` and its
+    sync commit destroys the buffered batch.
+    """
+    n, source = envelope.n, envelope.source
+    heal_by = envelope.heal_by
+    others = [pid for pid in range(n) if pid != source]
+    events: list[FaultEvent] = []
+
+    # Bouncers: crash + recover, all healed by heal_by.
+    bouncers = rng.sample(others, rng.randint(1, min(3, len(others))))
+    if rng.random() < 0.3:
+        bouncers.append(source)
+    for pid in bouncers:
+        crash_at = round(rng.uniform(1.0, heal_by * 0.7), 2)
+        downtime = round(rng.uniform(2.0, 25.0), 2)
+        recover_at = round(min(crash_at + downtime, heal_by), 2)
+        if recover_at <= crash_at:
+            recover_at = round(crash_at + 2.0, 2)
+        # Exercise both spellings of the same downtime: the sugar token
+        # and the standalone recover event.
+        if rng.random() < 0.5:
+            events.append(CrashFault(crash_at, pid, recover_at=recover_at))
+        else:
+            events.append(CrashFault(crash_at, pid))
+            events.append(RecoverFault(recover_at, pid))
+
+    # Permanent departures among the rest, within the fault bound.
+    rest = [pid for pid in others if pid not in bouncers]
+    for pid in rng.sample(rest, rng.randint(0, min(envelope.f, len(rest)))):
+        events.append(CrashFault(round(rng.uniform(1.0, heal_by), 2), pid))
+
+    # One healing partition: a minority without the source gets cut off.
+    if n >= 4 and rng.random() < 0.5:
+        minority = set(rng.sample(others, rng.randint(1, (n - 1) // 2)))
+        majority = tuple(pid for pid in range(n) if pid not in minority)
+        start = round(rng.uniform(1.0, heal_by * 0.6), 2)
+        end = round(min(start + rng.uniform(5.0, 25.0), heal_by), 2)
+        if end > start:
+            events.append(PartitionFault(start, end,
+                                         (majority, tuple(sorted(minority)))))
+
+    # A loss/delay storm on a few links.
+    if rng.random() < 0.5:
+        all_pairs = [(i, j) for i in range(n) for j in range(n) if i != j]
+        pairs = tuple(sorted(rng.sample(all_pairs,
+                                        min(3, len(all_pairs)))))
+        start = round(rng.uniform(1.0, heal_by * 0.6), 2)
+        end = round(min(start + rng.uniform(3.0, 20.0), heal_by), 2)
+        if end > start:
+            events.append(DegradeFault(
+                start, end, pairs,
+                loss=round(rng.uniform(0.2, 0.8), 2),
+                delay=round(rng.uniform(0.0, 0.8), 2)))
 
     return FaultPlan(events)
 

@@ -9,9 +9,14 @@ single dispatch point of the repository: metrics, traces, timeliness
 inspection and run recording are all just observers attached to it
 (see ``docs/OBSERVABILITY.md``).
 
-Crash semantics follow the crash-stop model: a message addressed to a
-process that is down *at delivery time* is silently dropped (recorded as
-``dst_crashed``), and a crashed process can never send.
+Crash semantics: a message addressed to a process that is down *at
+delivery time* is silently dropped (recorded as ``dst_crashed``), and a
+crashed process can never send.  Under crash-recovery, each send is
+stamped with the sender's incarnation; a message still in flight when
+its sender crashes and recovers is dropped at delivery time as
+``stale_incarnation`` — the new incarnation did not send it, mirroring
+the connection reset a real restart causes.  Runs that never recover a
+process skip the stale check entirely.
 
 Hot path
 --------
@@ -115,6 +120,9 @@ class Network:
         self._processes: dict[int, "Process"] = {}
         self._links: dict[tuple[int, int], LinkPolicy] = {}
         self._partitions: list[tuple[float, float, tuple[frozenset[int], ...]]] = []
+        # Whether any process ever recovered: gates the per-delivery
+        # stale-incarnation check so crash-stop runs never pay for it.
+        self._any_recovered = False
         # Hot-path caches; see the module docstring.
         self._pid_tuple: tuple[int, ...] = ()
         self._routes: dict[tuple[int, int],
@@ -314,8 +322,10 @@ class Network:
         # Deliveries are never cancelled, so use the handle-free path.
         post_after = self.sim.post_after
         deliver = self._deliver
+        incarnation = sender.incarnation
         for delay in delays:
-            post_after(delay, partial(deliver, src, dst, message, now))
+            post_after(delay,
+                       partial(deliver, src, dst, message, now, incarnation))
 
     def broadcast(self, src: int, message: Message) -> None:
         """Send ``message`` from ``src`` to every other registered process."""
@@ -324,10 +334,18 @@ class Network:
             if dst != src:
                 send(src, dst, message)
 
-    def _deliver(self, src: int, dst: int, message: Message, sent_at: float) -> None:
+    def _deliver(self, src: int, dst: int, message: Message, sent_at: float,
+                 sent_incarnation: int = 0) -> None:
         receiver = self._processes[dst]
         now = self.sim.now
         hub = self.hub
+        if (self._any_recovered
+                and self._processes[src].incarnation != sent_incarnation):
+            # The sending incarnation died while this message was in
+            # flight; its successor never sent it.
+            for callback in hub.drop_cbs:
+                callback(now, src, dst, message.kind, "stale_incarnation")
+            return
         if receiver.crashed or not receiver.started:
             # Crash-stop processes receive nothing; a not-yet-started
             # process has no open endpoint either (staggered boots).
@@ -343,9 +361,14 @@ class Network:
         receiver.deliver(message)
 
     # ------------------------------------------------------------------
-    # Crash bookkeeping (called by Process.crash)
+    # Lifecycle bookkeeping (called by Process.crash / Process.recover)
     # ------------------------------------------------------------------
 
     def note_crash(self, pid: int) -> None:
         """Dispatch a crash to the observers (the process handles its own state)."""
         self.hub.crash(self.sim.now, pid)
+
+    def note_recover(self, pid: int, incarnation: int) -> None:
+        """Record a recovery: arm the stale-incarnation check and dispatch."""
+        self._any_recovered = True
+        self.hub.recover(self.sim.now, pid, incarnation)

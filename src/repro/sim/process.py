@@ -2,8 +2,15 @@
 
 A :class:`Process` is the unit of computation of the model: it reacts to
 message deliveries and timer expirations, can send/broadcast messages,
-and can crash (crash-stop: once crashed it neither sends, receives, nor
-fires timers — matching the model in DESIGN.md §1.1).
+and can crash.  A crash makes the process *down*: it neither sends,
+receives, nor fires timers, and all volatile state of the runtime
+(timers, pause buffers, unsynced storage writes) is gone.  Under the
+default crash-stop reading (DESIGN.md §1.1) down is forever; the
+crash-recovery extension (docs/RECOVERY.md) adds :meth:`Process.recover`,
+which brings the process back as a fresh **incarnation** — volatile
+state reset, durable state (see :class:`~repro.sim.storage.StableStorage`)
+intact, and in-flight messages from the previous incarnation discarded
+by the network.
 
 Protocols subclass :class:`Process` and override the hooks:
 
@@ -21,6 +28,10 @@ Protocols subclass :class:`Process` and override the hooks:
 
 ``on_crash()``
     Last hook before the process goes silent; useful for checkers.
+
+``on_recover()``
+    First hook of a new incarnation; reload durable state from
+    :attr:`storage` and re-arm timers here.
 
 Besides the permanent crash, a process can be **paused** and later
 **resumed** (think SIGSTOP, a long GC pause, a VM migration).  While
@@ -46,20 +57,27 @@ from repro.sim.engine import Simulation
 from repro.sim.events import EventHandle
 from repro.sim.messages import Message
 from repro.sim.network import Network
+from repro.sim.storage import StableStorage
 
-__all__ = ["Process"]
+__all__ = ["Process", "ProcessError"]
+
+
+class ProcessError(RuntimeError):
+    """Raised on process lifecycle misuse (recovering an up process...)."""
 
 
 class Process:
-    """A crash-stop process attached to a simulation and a network."""
+    """A crashable (and recoverable) process on a simulation and a network."""
 
     def __init__(self, pid: int, sim: Simulation, network: Network) -> None:
         self.pid = pid
         self.sim = sim
         self.network = network
+        self.incarnation = 0
         self._crashed = False
         self._started = False
         self._paused = False
+        self._storage: StableStorage | None = None
         self._timers: dict[Hashable, EventHandle] = {}
         self._periods: dict[Hashable, float] = {}
         self._held_messages: list[Message] = []
@@ -77,8 +95,29 @@ class Process:
 
     @property
     def crashed(self) -> bool:
-        """Whether this process has crashed (crash-stop: permanent)."""
+        """Whether this process is down (permanent unless :meth:`recover`)."""
         return self._crashed
+
+    @property
+    def storage(self) -> StableStorage:
+        """This process's stable storage, attached lazily on first use.
+
+        Processes that never touch storage never build one (and pay
+        nothing); processes that need configured storage call
+        :meth:`attach_storage` before first use.
+        """
+        if self._storage is None:
+            self._storage = StableStorage(self.pid, self.sim,
+                                          hub=self.network.hub)
+        return self._storage
+
+    def attach_storage(self, storage: StableStorage) -> StableStorage:
+        """Install a configured :class:`StableStorage` (before first use)."""
+        if self._storage is not None:
+            raise ProcessError(
+                f"process {self.pid} already has stable storage attached")
+        self._storage = storage
+        return storage
 
     @property
     def started(self) -> bool:
@@ -102,7 +141,12 @@ class Process:
         self.on_start()
 
     def crash(self) -> None:
-        """Crash the process: cancel all timers and go permanently silent."""
+        """Crash the process: cancel all timers and go silent (down).
+
+        All volatile state — timers, pause buffers, unsynced storage
+        writes — is lost.  Down is permanent under crash-stop; the
+        crash-recovery extension may later call :meth:`recover`.
+        """
         if self._crashed:
             return
         self._crashed = True
@@ -113,8 +157,33 @@ class Process:
         self._periods.clear()
         self._held_messages.clear()
         self._missed_timers.clear()
+        if self._storage is not None:
+            self._storage.note_crash()
         self.network.note_crash(self.pid)
         self.on_crash()
+
+    def recover(self) -> None:
+        """Bring a down process back as a fresh incarnation.
+
+        Volatile state was already lost at crash time; durable storage
+        survives.  The incarnation number increments (monotone across
+        the process's lifetime), the network discards any still-in-flight
+        messages sent by previous incarnations, and the ``on_recover``
+        hook runs to reload durable state and re-arm timers.
+
+        Raises :class:`ProcessError` if the process is not down —
+        recovering an up process (including double-recovery) is a
+        harness bug, not a fault to model.
+        """
+        if not self._crashed:
+            raise ProcessError(
+                f"process {self.pid} is up (incarnation {self.incarnation}); "
+                f"recover() requires a crashed process")
+        self._crashed = False
+        self._paused = False
+        self.incarnation += 1
+        self.network.note_recover(self.pid, self.incarnation)
+        self.on_recover()
 
     def pause(self) -> None:
         """Freeze the process: no sends, no handler dispatch, until resume.
@@ -247,6 +316,9 @@ class Process:
 
     def on_crash(self) -> None:
         """Crash hook; default does nothing."""
+
+    def on_recover(self) -> None:
+        """Recovery hook (new incarnation); default does nothing."""
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         if self._crashed:

@@ -77,7 +77,7 @@ class TestPlanValidation:
         assert [e.time for e in plan.events] == [2.0, 5.0]
 
     def test_double_crash_rejected(self) -> None:
-        with pytest.raises(FaultPlanError, match="crashes twice"):
+        with pytest.raises(FaultPlanError, match="already down"):
             FaultPlan([CrashFault(1.0, 0), CrashFault(2.0, 0)])
 
     def test_crashes_at_matches_crash_plan_shape(self) -> None:
@@ -99,13 +99,15 @@ class TestPlanValidation:
 
     def test_schedule_rejects_unknown_pids(self) -> None:
         cluster = build_cluster(n=3)
-        with pytest.raises(FaultPlanError, match="unknown pids"):
+        with pytest.raises(FaultPlanError,
+                           match=r"references pid 9, but the target owns "
+                                 r"pids 0\.\.2 \(n=3\)"):
             FaultPlan([PauseFault(1.0, 9, 2.0)]).schedule(cluster)
 
     def test_schedule_rejects_unknown_link_pids(self) -> None:
         cluster = build_cluster(n=3)
         plan = FaultPlan([DegradeFault(1.0, 5.0, ((0, 7),), loss=0.5)])
-        with pytest.raises(FaultPlanError, match="unknown pids"):
+        with pytest.raises(FaultPlanError, match="references pid 7"):
             plan.schedule(cluster)
 
     def test_schedule_rejects_past_events(self) -> None:

@@ -61,6 +61,7 @@ class TestRegistry:
     def test_known_names(self) -> None:
         assert set(OMEGA_ALGORITHMS) == {
             "all-timely", "source", "comm-efficient", "f-source",
+            "crash-recovery",
         }
 
     def test_algorithm_class_lookup(self) -> None:

@@ -1,0 +1,182 @@
+"""Unit tests for the stable-storage model (repro.sim.storage)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Observer, ObserverHub
+from repro.sim.engine import Simulation
+from repro.sim.storage import StableStorage, StorageError
+
+
+class SyncSpy(Observer):
+    """Records every dispatched sync event."""
+
+    def __init__(self) -> None:
+        self.events: list[tuple[float, int, tuple, bool]] = []
+
+    def on_sync(self, time: float, pid: int, keys: tuple, ok: bool) -> None:
+        self.events.append((time, pid, keys, ok))
+
+
+def make_storage(sim: Simulation, **kwargs) -> StableStorage:
+    return StableStorage(0, sim, sync_latency=0.02, **kwargs)
+
+
+class TestReadsAndWrites:
+    def test_read_your_writes_before_sync(self, sim: Simulation) -> None:
+        storage = make_storage(sim)
+        storage.put("x", 1)
+        assert storage.get("x") == 1
+        assert "x" in storage
+        assert storage.dirty
+        assert storage.durable_keys() == ()
+
+    def test_get_default_for_missing_key(self, sim: Simulation) -> None:
+        storage = make_storage(sim)
+        assert storage.get("missing", 42) == 42
+        assert "missing" not in storage
+
+    def test_sync_commits_after_latency(self, sim: Simulation) -> None:
+        storage = make_storage(sim)
+        storage.put("x", 1)
+        storage.sync()
+        assert storage.durable_keys() == ()  # still in flight
+        sim.run_until(0.1)
+        assert storage.durable_keys() == ("x",)
+        assert storage.get("x") == 1
+        assert not storage.dirty
+        assert storage.syncs_ok == 1
+
+    def test_zero_latency_commits_synchronously(self, sim: Simulation) -> None:
+        storage = StableStorage(0, sim, sync_latency=0.0)
+        fired = []
+        storage.put("x", 1)
+        storage.sync(on_durable=lambda: fired.append(sim.now))
+        assert storage.durable_keys() == ("x",)
+        assert fired == [0.0]
+
+    def test_negative_latency_rejected(self, sim: Simulation) -> None:
+        with pytest.raises(StorageError, match="sync_latency"):
+            StableStorage(0, sim, sync_latency=-1.0)
+
+    def test_tuple_keys(self, sim: Simulation) -> None:
+        storage = make_storage(sim)
+        storage.put(("acc", 3), ("ballot", "value"))
+        storage.sync()
+        sim.run_until(0.1)
+        assert storage.get(("acc", 3)) == ("ballot", "value")
+
+
+class TestCrashSemantics:
+    def test_crash_loses_unsynced_buffer(self, sim: Simulation) -> None:
+        storage = make_storage(sim)
+        storage.put("x", 1)
+        storage.sync()
+        sim.run_until(0.1)
+        storage.put("x", 2)  # never synced
+        storage.note_crash()
+        assert storage.get("x") == 1  # previous durable value survives
+
+    def test_crash_aborts_in_flight_batch(self, sim: Simulation) -> None:
+        fired = []
+        storage = make_storage(sim)
+        storage.put("x", 1)
+        storage.sync(on_durable=lambda: fired.append(True))
+        storage.note_crash()  # before the 0.02s commit lands
+        sim.run_until(0.1)
+        assert storage.get("x") is None
+        assert fired == []
+        assert storage.batches_lost == 1
+        assert storage.syncs_ok == 0
+
+    def test_durable_map_survives_crash(self, sim: Simulation) -> None:
+        storage = make_storage(sim)
+        storage.put("x", 1)
+        storage.sync()
+        sim.run_until(0.1)
+        storage.note_crash()
+        assert storage.get("x") == 1
+
+    def test_syncs_after_crash_commit_normally(self, sim: Simulation) -> None:
+        storage = make_storage(sim)
+        storage.note_crash()
+        storage.put("x", 3)
+        storage.sync()
+        sim.run_until(0.2)
+        assert storage.get("x") == 3
+        assert storage.syncs_ok == 1
+
+
+class TestFaults:
+    def test_failing_sync_discards_batch(self, sim: Simulation) -> None:
+        fired = []
+        storage = make_storage(sim, failing_syncs=(0,))
+        storage.put("x", 1)
+        storage.sync(on_durable=lambda: fired.append(True))
+        sim.run_until(0.1)
+        assert storage.get("x") is None
+        assert fired == []
+        assert storage.syncs_failed == 1
+        # The next sync (index 1) works.
+        storage.put("x", 2)
+        storage.sync(on_durable=lambda: fired.append(True))
+        sim.run_until(0.2)
+        assert storage.get("x") == 2
+        assert fired == [True]
+
+    def test_corrupt_key_raises_on_get(self, sim: Simulation) -> None:
+        storage = make_storage(sim)
+        storage.put("x", 1)
+        storage.sync()
+        sim.run_until(0.1)
+        storage.corrupt("x")
+        with pytest.raises(StorageError, match="corrupted"):
+            storage.get("x")
+
+    def test_corrupt_missing_key_rejected(self, sim: Simulation) -> None:
+        storage = make_storage(sim)
+        with pytest.raises(StorageError, match="missing"):
+            storage.corrupt("nope")
+
+    def test_corrupt_key_still_listed_durable(self, sim: Simulation) -> None:
+        storage = make_storage(sim)
+        storage.put("x", 1)
+        storage.sync()
+        sim.run_until(0.1)
+        storage.corrupt("x")
+        assert storage.durable_keys() == ("x",)
+
+
+class TestObservability:
+    def test_sync_events_dispatched_to_hub(self, sim: Simulation) -> None:
+        hub = ObserverHub()
+        spy = hub.attach(SyncSpy())
+        storage = StableStorage(7, sim, hub=hub, sync_latency=0.02,
+                                failing_syncs=(1,))
+        storage.put("a", 1)
+        storage.sync()
+        storage.put("b", 2)
+        storage.sync()
+        sim.run_until(0.1)
+        assert spy.events == [(0.02, 7, ("a",), True),
+                              (0.02, 7, ("b",), False)]
+
+    def test_aborted_batch_dispatches_nothing(self, sim: Simulation) -> None:
+        hub = ObserverHub()
+        spy = hub.attach(SyncSpy())
+        storage = StableStorage(7, sim, hub=hub, sync_latency=0.02)
+        storage.put("a", 1)
+        storage.sync()
+        storage.note_crash()
+        sim.run_until(0.1)
+        assert spy.events == []
+
+    def test_empty_sync_still_fires_on_durable(self, sim: Simulation) -> None:
+        # Relied upon by deferred acks: "sync my (already clean) state,
+        # then reply" must still reply.
+        fired = []
+        storage = make_storage(sim)
+        storage.sync(on_durable=lambda: fired.append(sim.now))
+        sim.run_until(0.1)
+        assert fired == [0.02]
