@@ -286,10 +286,13 @@ def cmd_soak(args: argparse.Namespace) -> int:
 
     if args.minutes is not None and args.case:
         raise SystemExit("--case requires --cases mode (a fixed campaign)")
+    if args.recovery and args.degraded:
+        raise SystemExit("--recovery and --degraded are exclusive campaigns")
     cases = None if args.minutes is not None else args.cases
     results = soak(cases=cases, minutes=args.minutes, soak_seed=args.seed,
                    stop_on_failure=args.stop_on_failure,
-                   only=tuple(args.case), recovery=args.recovery)
+                   only=tuple(args.case), recovery=args.recovery,
+                   degraded=args.degraded)
     if args.case and not results:
         raise SystemExit(f"--case indices {args.case} outside "
                          f"--cases {args.cases}")
@@ -301,7 +304,8 @@ def cmd_soak(args: argparse.Namespace) -> int:
         if result.status == "fail":
             failures.append(result)
     digest = campaign_digest([result.case for result in results])
-    mode = "recovery campaigns" if args.recovery else "campaigns"
+    mode = ("recovery campaigns" if args.recovery
+            else "degraded campaigns" if args.degraded else "campaigns")
     print(f"\n{len(results) - len(failures)}/{len(results)} {mode} ok "
           f"(seed={args.seed})")
     print(f"campaign digest: {digest}")
@@ -323,8 +327,10 @@ def cmd_soak(args: argparse.Namespace) -> int:
     if failures:
         print("\nrepro lines:")
         for result in failures:
+            flag = ("--recovery " if args.recovery
+                    else "--degraded " if args.degraded else "")
             print(f"  python -m repro soak --seed {args.seed} "
-                  f"{'--recovery ' if args.recovery else ''}"
+                  f"{flag}"
                   f"--case {result.case.index}   # {result.case.describe()}")
     return 1 if failures else 0
 
@@ -407,11 +413,19 @@ def cmd_report(args: argparse.Namespace) -> int:
                              f"suite cases:\n  {listing}")
         report = bench_case_report(by_id[args.case_id])
     else:  # soak
-        from repro.harness.soak import sample_recovery_case, sample_soak_case
+        from repro.harness.soak import (
+            sample_degraded_case,
+            sample_recovery_case,
+            sample_soak_case,
+        )
 
         if args.case < 0:
             raise SystemExit(f"--case must be >= 0, got {args.case}")
-        sample = sample_recovery_case if args.recovery else sample_soak_case
+        if args.recovery and args.degraded:
+            raise SystemExit("--recovery and --degraded are exclusive")
+        sample = (sample_recovery_case if args.recovery
+                  else sample_degraded_case if args.degraded
+                  else sample_soak_case)
         report = soak_case_report(sample(args.seed, args.case))
     wall = time.perf_counter() - started
 
@@ -446,7 +460,10 @@ def cmd_qos(args: argparse.Namespace) -> int:
                 trace=True)
             crash = False
         else:
-            system = "all-et" if algorithm == "all-timely" else "multi-source"
+            # all-timely and packet-efficient need every link ◇timely.
+            system = ("all-et" if algorithm in ("all-timely",
+                                                "packet-efficient")
+                      else "multi-source")
             scenario = OmegaScenario(
                 algorithm=algorithm, n=args.n, system=system,
                 sources=(1, 2), seed=args.seed, horizon=args.horizon,
@@ -579,6 +596,10 @@ def build_parser() -> argparse.ArgumentParser:
     soak_cmd.add_argument("--case", action="append", type=int, default=[],
                           metavar="INDEX",
                           help="replay only this case index (repeatable)")
+    soak_cmd.add_argument("--degraded", action="store_true",
+                          help="hostile-link campaign: every Omega under "
+                               "sustained loss/delay storms, flapping and "
+                               "duplication, half adaptive_qos")
     soak_cmd.add_argument("--recovery", action="store_true",
                           help="crash-recovery campaign: persisted stacks, "
                                "crash+recover fault plans, control case")
@@ -644,6 +665,8 @@ def build_parser() -> argparse.ArgumentParser:
     rsoak.add_argument("--case", type=int, required=True, metavar="INDEX")
     rsoak.add_argument("--recovery", action="store_true",
                        help="sample from the crash-recovery campaign")
+    rsoak.add_argument("--degraded", action="store_true",
+                       help="sample from the hostile-link campaign")
     rsoak.add_argument("--out", default="", help="also write JSON here")
     rsoak.set_defaults(handler=cmd_report)
 

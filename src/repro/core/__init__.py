@@ -11,12 +11,25 @@ Four algorithms (see DESIGN.md §1.5 for the reconstruction notes):
 * :class:`RecoveringOmega` — crash-recovery extension (docs/RECOVERY.md):
   the communication-efficient algorithm with counters persisted to
   stable storage, surviving crash+restart cycles.
+* :class:`PacketEfficientOmega` — packet-efficiency extension
+  (docs/DEGRADATION.md, after arXiv:1505.05025): bounded-size beats
+  only, so the per-*packet* budget stays bounded where the accusation
+  counters of R1/R2 grow; needs every link ◇timely.
+
+Plus the adaptive degradation layer (:mod:`repro.core.adaptive`): EWMA
+link-quality estimation, bounded-exponential timeout backoff, and
+heartbeat batching, behind ``OmegaConfig.adaptive_qos``.
 
 Plus the run checker (:func:`analyze_omega_run`,
 :func:`communication_report`) that turns a finished simulation into the
 verdicts the experiments report.
 """
 
+from repro.core.adaptive import (
+    AdaptiveController,
+    BackoffPolicy,
+    LinkQualityEstimator,
+)
 from repro.core.all_timely import AllTimelyOmega
 from repro.core.checker import (
     CommunicationReport,
@@ -27,8 +40,17 @@ from repro.core.checker import (
 from repro.core.comm_efficient import CommEfficientOmega
 from repro.core.config import AdaptiveTimeouts, OmegaConfig
 from repro.core.f_source import FSourceOmega
-from repro.core.messages import Accusation, Alive, FsAlive, Heartbeat, Suspect
+from repro.core.messages import (
+    Accusation,
+    Alive,
+    BatchedAlive,
+    Beat,
+    FsAlive,
+    Heartbeat,
+    Suspect,
+)
 from repro.core.omega import OmegaProtocol
+from repro.core.packet_efficient import PacketEfficientOmega
 from repro.core.registry import OMEGA_ALGORITHMS, algorithm_class, make_factory
 from repro.core.qos import OmegaQoS, measure_qos, output_at
 from repro.core.recovering import RecoveringOmega
@@ -36,6 +58,9 @@ from repro.core.relay import Relay, SeenTracker, make_relayed, origins_between
 from repro.core.source_omega import SourceOmega
 
 __all__ = [
+    "AdaptiveController",
+    "BackoffPolicy",
+    "LinkQualityEstimator",
     "AllTimelyOmega",
     "CommunicationReport",
     "OmegaRunReport",
@@ -47,10 +72,13 @@ __all__ = [
     "FSourceOmega",
     "Accusation",
     "Alive",
+    "BatchedAlive",
+    "Beat",
     "FsAlive",
     "Heartbeat",
     "Suspect",
     "OmegaProtocol",
+    "PacketEfficientOmega",
     "OMEGA_ALGORITHMS",
     "algorithm_class",
     "make_factory",

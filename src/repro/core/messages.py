@@ -22,6 +22,18 @@ Four message classes cover the whole leader-election layer:
     advance only when ``n - f`` distinct suspectors of the same epoch
     are observed.
 
+:class:`Beat`
+    The packet-efficient algorithm's heartbeat: *bounded* fields only —
+    no accusation counter — so its wire size never grows with run
+    length (the whole point of packet accounting; see
+    docs/DEGRADATION.md).  The optional ``lease`` announces how many η
+    periods this beat covers when the adaptive degradation mode batches.
+
+:class:`BatchedAlive`
+    An :class:`Alive` carrying a ``lease``: the adaptive degradation
+    mode's fewer-but-larger heartbeat for degraded links.  Receivers
+    treat it exactly like ``Alive`` plus a watch extension.
+
 All are frozen dataclasses; the default fairness type (the class name)
 is the right granularity for the typed fair-lossy links — each protocol
 sends each class on a given link infinitely often whenever it matters.
@@ -33,7 +45,8 @@ from dataclasses import dataclass
 
 from repro.sim.messages import Message
 
-__all__ = ["Heartbeat", "Alive", "Accusation", "FsAlive", "Suspect"]
+__all__ = ["Heartbeat", "Alive", "BatchedAlive", "Accusation", "FsAlive",
+           "Suspect", "Beat"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -56,6 +69,21 @@ class Alive(Message):
 
     counter: int
     phase: int
+
+
+@dataclass(frozen=True, slots=True)
+class BatchedAlive(Alive):
+    """An ``Alive`` whose sender will stay quiet for ``lease`` periods.
+
+    Attributes
+    ----------
+    lease:
+        How many η heartbeat periods this message covers.  The receiver
+        extends its watch on the sender by ``(lease - 1) · η`` so the
+        announced silence is not mistaken for a failure.
+    """
+
+    lease: int = 1
 
 
 @dataclass(frozen=True, slots=True)
@@ -88,6 +116,22 @@ class FsAlive(Message):
     """
 
     counters: tuple[int, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Beat(Message):
+    """Bounded-size heartbeat of the packet-efficient algorithm.
+
+    Attributes
+    ----------
+    lease:
+        How many η periods this beat covers (1 outside the adaptive
+        degradation mode).  Bounded by ``OmegaConfig.batch_limit``, so
+        unlike ``Alive`` the message never grows: every ``Beat`` fits a
+        constant number of packets for the whole run.
+    """
+
+    lease: int = 1
 
 
 @dataclass(frozen=True, slots=True)

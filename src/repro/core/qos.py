@@ -98,11 +98,22 @@ def measure_qos(cluster: Cluster, start: float = 0.0,
             breakpoints.add(time)
     ordered = sorted(breakpoints)
 
+    # A process with no recorded output anywhere in the window (never
+    # started, or recovered only after ``end_time``) cannot witness
+    # agreement; keeping it in the probe set would hold ``outputs`` at
+    # {None} on every interval and zero the fractions for everyone.
+    # Such processes are excluded as witnesses; if nobody witnessed the
+    # window at all, both fractions are a well-defined 0.0.  A process
+    # whose history *starts inside* the window still counts — its
+    # pre-start intervals legitimately deny agreement via the None skip.
+    witnesses = [pid for pid in correct
+                 if output_at(histories[pid], end_time) is not None]
+
     agreement = 0.0
     good = 0.0
     for left, right in zip(ordered, ordered[1:]):
         probe = left  # outputs are constant on [left, right)
-        outputs = {output_at(histories[pid], probe) for pid in correct}
+        outputs = {output_at(histories[pid], probe) for pid in witnesses}
         if len(outputs) != 1 or None in outputs:
             continue
         leader = outputs.pop()

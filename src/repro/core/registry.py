@@ -16,6 +16,7 @@ from repro.core.comm_efficient import CommEfficientOmega
 from repro.core.config import OmegaConfig
 from repro.core.f_source import FSourceOmega
 from repro.core.omega import OmegaProtocol
+from repro.core.packet_efficient import PacketEfficientOmega
 from repro.core.recovering import RecoveringOmega
 from repro.core.source_omega import SourceOmega
 from repro.sim.engine import Simulation
@@ -29,6 +30,7 @@ OMEGA_ALGORITHMS: dict[str, type[OmegaProtocol]] = {
     "comm-efficient": CommEfficientOmega,
     "f-source": FSourceOmega,
     "crash-recovery": RecoveringOmega,
+    "packet-efficient": PacketEfficientOmega,
 }
 
 ProcessFactory = Callable[[int, Simulation, Network], OmegaProtocol]

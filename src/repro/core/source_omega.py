@@ -47,7 +47,8 @@ from __future__ import annotations
 
 from typing import Hashable
 
-from repro.core.messages import Accusation, Alive
+from repro.core.adaptive import AdaptiveController
+from repro.core.messages import Accusation, Alive, BatchedAlive
 from repro.core.omega import OmegaProtocol
 
 from repro.sim.messages import Message
@@ -59,7 +60,18 @@ _WATCH = "watch"
 
 
 class SourceOmega(OmegaProtocol):
-    """Accusation-counter Omega; every process heartbeats forever."""
+    """Accusation-counter Omega; every process heartbeats forever.
+
+    With ``OmegaConfig.adaptive_qos`` the adaptive degradation layer
+    (:mod:`repro.core.adaptive`, docs/DEGRADATION.md) is active: watch
+    timeouts stretch with the estimated heartbeat gap and back off
+    exponentially (bounded, decaying on recovery), and heartbeats to
+    peers that keep accusing us — the sender-side evidence of a
+    degraded outgoing link — are batched into leased
+    :class:`~repro.core.messages.BatchedAlive` messages covering
+    several η periods.  Off by default; the static algorithm is
+    bit-for-bit unchanged.
+    """
 
     def __init__(self, pid, sim, network, config=None):  # noqa: ANN001
         super().__init__(pid, sim, network, config)
@@ -69,6 +81,9 @@ class SourceOmega(OmegaProtocol):
         self.phases: dict[int, int] = {}
         self.accusations_received = 0
         self.stale_accusations = 0
+        self.adaptive = (AdaptiveController(self.config)
+                         if self.config.adaptive_qos else None)
+        self._lease: dict[int, int] = {}
 
     def on_start(self) -> None:
         super().on_start()
@@ -84,8 +99,28 @@ class SourceOmega(OmegaProtocol):
         return True
 
     def _heartbeat(self) -> None:
-        if self._sends_heartbeat():
+        if not self._sends_heartbeat():
+            return
+        if self.adaptive is None:
             self.broadcast(Alive(self.pid, self.counter, self.phase))
+            return
+        # Adaptive degradation mode: per-peer batching.  A peer whose
+        # accusations keep arriving is behind a degraded outgoing link;
+        # beating it harder feeds the storm, so its heartbeats coalesce
+        # into one leased message covering several periods (the receiver
+        # extends its watch by the announced lease).
+        now = self.now
+        for dst in self.network.pids:
+            if dst == self.pid:
+                continue
+            lease = self.adaptive.next_send(dst, now)
+            if lease == 0:
+                continue
+            if lease == 1:
+                self.send(dst, Alive(self.pid, self.counter, self.phase))
+            else:
+                self.send(dst, BatchedAlive(self.pid, self.counter,
+                                            self.phase, lease))
 
     # ------------------------------------------------------------------
     # Priorities
@@ -115,6 +150,10 @@ class SourceOmega(OmegaProtocol):
 
     def _on_alive(self, message: Alive) -> None:
         peer = message.sender
+        if self.adaptive is not None:
+            self.adaptive.observe_heartbeat(peer, self.now)
+            self._lease[peer] = (message.lease
+                                 if isinstance(message, BatchedAlive) else 1)
         self.counters[peer] = max(self.counters.get(peer, 0), message.counter)
         self.phases[peer] = max(self.phases.get(peer, 0), message.phase)
         if self.priority(peer) <= self.priority(self.leader()):
@@ -132,6 +171,10 @@ class SourceOmega(OmegaProtocol):
         if message.target != self.pid:
             return  # misrouted; links cannot create messages, so impossible
         self.accusations_received += 1
+        if self.adaptive is not None:
+            # Even a stale accusation is evidence our heartbeats reach
+            # this peer late: raise its batching pressure.
+            self.adaptive.accused_by(message.sender, self.now)
         if self.config.phase_tagged_accusations and message.phase != self.phase:
             self.stale_accusations += 1
             return
@@ -148,13 +191,20 @@ class SourceOmega(OmegaProtocol):
             self.cancel_timer(_WATCH)
             return
         self._output(peer)
-        self.set_timer(_WATCH, self.timeouts.get(peer))
+        base = self.timeouts.get(peer)
+        if self.adaptive is None:
+            self.set_timer(_WATCH, base)
+        else:
+            self.set_timer(_WATCH, self.adaptive.watch_delay(
+                peer, base, self._lease.get(peer, 1)))
 
     def _leader_timed_out(self) -> None:
         suspect = self.leader()
         if suspect == self.pid:  # pragma: no cover - watch only runs on others
             return
         self.timeouts.grow(suspect)
+        if self.adaptive is not None:
+            self.adaptive.suspicion(suspect)
         self.send(suspect, Accusation(self.pid, suspect,
                                       self.phases.get(suspect, 0)))
         self._output(self.pid)

@@ -21,6 +21,7 @@ from repro.harness.soak import (
     campaign_digest,
     recovery_control_case,
     run_soak_case,
+    sample_degraded_case,
     sample_recovery_case,
     sample_soak_case,
     soak,
@@ -44,6 +45,7 @@ __all__ = [
     "campaign_digest",
     "recovery_control_case",
     "run_soak_case",
+    "sample_degraded_case",
     "sample_recovery_case",
     "sample_soak_case",
     "soak",

@@ -1,10 +1,11 @@
 """Scale-out experiment bench runner.
 
-This module turns the E1–E4 experiment suite into a list of independent
-:class:`BenchCase` values, fans them out across CPU cores with
-``multiprocessing``, and merges the results into a versioned,
-machine-readable report (``BENCH_<date>.json``) so the repository's
-performance trajectory is measurable run over run.
+This module turns the E1–E4 experiment suite (plus E17, the
+packet-budget and adaptive-degradation rows of docs/DEGRADATION.md)
+into a list of independent :class:`BenchCase` values, fans them out
+across CPU cores with ``multiprocessing``, and merges the results into
+a versioned, machine-readable report (``BENCH_<date>.json``) so the
+repository's performance trajectory is measurable run over run.
 
 Determinism
 -----------
@@ -41,10 +42,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
-from repro.core import OmegaConfig, analyze_omega_run
+from repro.core import OmegaConfig, analyze_omega_run, measure_qos
 from repro.harness.scenarios import OmegaScenario
+from repro.obs.observer import Observer, capture
 from repro.obs.verdict import Verdict
-from repro.sim import LinkTimings
+from repro.sim import DegradeFault, FaultPlan, LinkTimings
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -62,7 +64,7 @@ __all__ = [
 SCHEMA_VERSION = "repro-bench/v1"
 """Version tag of the JSON report layout; bump on breaking changes."""
 
-EXPERIMENTS = ("e1", "e2", "e3", "e4")
+EXPERIMENTS = ("e1", "e2", "e3", "e4", "e17")
 """Experiment families the runner knows how to fan out."""
 
 _TIMINGS = LinkTimings(gst=5.0)
@@ -187,6 +189,31 @@ def default_suite(
                     experiment="e4",
                     params={"eta": eta, "seed": case_seed}))
 
+    if "e17" in experiments:
+        # Packet budgets: one row per registered Omega variant, run with
+        # the packet tally attached (the timed e1-e4 paths stay
+        # observer-free, so these rows never perturb the perf guard).
+        budget_algorithms = (("comm-efficient", "packet-efficient")
+                             if quick else _E17_ALGORITHMS)
+        budget_n = 4 if quick else 8
+        for algorithm in budget_algorithms:
+            cases.append(BenchCase(
+                case_id=f"e17/budget/{algorithm}/n={budget_n}",
+                experiment="e17",
+                params={"mode": "budget", "algorithm": algorithm,
+                        "n": budget_n, "seed": seed}))
+        # Adaptive-vs-static comm-efficient under a sustained degrade
+        # storm: the robustness headline row.  Sized to the regime the
+        # adaptive layer targets (small/mid ensembles; at n >= 8 the
+        # monotone static timeouts are already near-optimal for this
+        # storm and batching is dominated by the loss rate — see
+        # docs/DEGRADATION.md).
+        for n in ((4,) if quick else (4, 6)):
+            cases.append(BenchCase(
+                case_id=f"e17/adaptive-vs-static/n={n}",
+                experiment="e17",
+                params={"mode": "adaptive", "n": n, "seed": seed}))
+
     return cases
 
 
@@ -304,11 +331,178 @@ def _run_e4(eta: float, seed: int) -> tuple[Verdict, dict, Any]:
     return verdict, details, cluster
 
 
+# E17 (docs/DEGRADATION.md): per-packet budgets and adaptive degradation.
+# The fixed tuple keeps case ids stable if the registry grows.
+_E17_ALGORITHMS = ("all-timely", "source", "comm-efficient", "f-source",
+                   "crash-recovery", "packet-efficient")
+
+
+class _PacketTally(Observer):
+    """Minimal packet accounting for e17 (attached via ``capture``).
+
+    Unlike :class:`~repro.obs.report.RunRecorder` this records nothing
+    but the packet counters, so budget rows stay cheap; the timed e1-e4
+    cases never attach it and keep their observer-free hot path.
+    """
+
+    def __init__(self) -> None:
+        self.sent = 0
+        self.bytes_sent = 0
+        self.delivered = 0
+        self.bytes_delivered = 0
+        self.by_kind: dict[str, list[int]] = {}
+
+    def on_packet_send(self, time: float, src: int, dst: int, kind: str,
+                       size: int, packets: int) -> None:
+        self.sent += packets
+        self.bytes_sent += size
+        entry = self.by_kind.setdefault(kind, [0, 0])
+        entry[0] += packets
+        entry[1] += size
+
+    def on_packet_deliver(self, time: float, src: int, dst: int, kind: str,
+                          size: int, packets: int) -> None:
+        self.delivered += packets
+        self.bytes_delivered += size
+
+    def block(self, mtu: int) -> dict:
+        """The additive ``packets`` budget block of a bench case result."""
+        return {
+            "mtu": mtu,
+            "sent": self.sent,
+            "bytes_sent": self.bytes_sent,
+            "by_kind": {kind: {"packets": packets, "bytes": size}
+                        for kind, (packets, size)
+                        in sorted(self.by_kind.items())},
+            "delivered": self.delivered,
+            "bytes_delivered": self.bytes_delivered,
+        }
+
+
+def _e17_scenario(algorithm: str, n: int, seed: int,
+                  config: OmegaConfig | None = None,
+                  faults: str = "") -> OmegaScenario:
+    """The e17 scenario of one algorithm on its weakest adequate system."""
+    source = n // 2
+    if algorithm in ("all-timely", "packet-efficient"):
+        return OmegaScenario(algorithm=algorithm, n=n, system="all-et",
+                             seed=seed, horizon=300.0, timings=_TIMINGS,
+                             config=config, faults=faults)
+    if algorithm == "f-source":
+        return OmegaScenario(algorithm=algorithm, n=n, system="f-source",
+                             source=source, targets=(0, n - 1), seed=seed,
+                             horizon=600.0, timings=_TIMINGS,
+                             config=config, faults=faults)
+    return OmegaScenario(algorithm=algorithm, n=n, system="source",
+                         source=source, seed=seed, horizon=300.0,
+                         timings=_TIMINGS, config=config, faults=faults)
+
+
+def _run_e17_budget(algorithm: str, n: int,
+                    seed: int) -> tuple[Verdict, dict, Any]:
+    """One packet-budget row: run observed, report the packet economy."""
+    scenario = _e17_scenario(algorithm, n, seed)
+    with capture(_PacketTally):
+        outcome = scenario.run()
+    network = outcome.cluster.network
+    tally = network.hub.first(_PacketTally)
+    horizon = scenario.horizon
+    details = {
+        "omega_holds": outcome.stabilized,
+        "stabilization_time_s": outcome.report.stabilization_time,
+        "final_leader": outcome.report.final_leader,
+        "packets": tally.block(network.mtu),
+        "packets_per_sim_s": tally.sent / horizon,
+        "bytes_per_sim_s": tally.bytes_sent / horizon,
+    }
+    verdict = outcome.report.verdict().merge(Verdict.passed(
+        packets_sent=tally.sent, bytes_sent=tally.bytes_sent))
+    return verdict, details, outcome.cluster
+
+
+def _e17_degrade_plan(n: int) -> str:
+    """A sustained all-links degrade storm, healed with calm to spare."""
+    pairs = tuple((i, j) for i in range(n) for j in range(n) if i != j)
+    return FaultPlan([DegradeFault(30.0, 150.0, pairs,
+                                   loss=0.35, delay=0.4)]).to_repro()
+
+
+def _run_e17_adaptive(n: int, seed: int) -> tuple[Verdict, dict, Any]:
+    """Adaptive vs static comm-efficient under the same degrade storm.
+
+    The claim this row defends (ISSUE 6): with ``adaptive_qos`` on, the
+    comm-efficient detector sends measurably fewer packets over the
+    degraded window at no worse agreement/good-fraction QoS.
+    """
+    faults = _e17_degrade_plan(n)
+    sides: dict[str, dict] = {}
+    clusters: dict[str, Any] = {}
+    for label, adaptive in (("static", False), ("adaptive", True)):
+        scenario = _e17_scenario("comm-efficient", n, seed,
+                                 config=OmegaConfig(adaptive_qos=adaptive),
+                                 faults=faults)
+        with capture(_PacketTally):
+            outcome = scenario.run()
+        network = outcome.cluster.network
+        tally = network.hub.first(_PacketTally)
+        qos = measure_qos(outcome.cluster, start=30.0,
+                          end=scenario.horizon)
+        sides[label] = {
+            "omega_holds": outcome.stabilized,
+            "packets": tally.block(network.mtu),
+            "agreement_fraction": qos.agreement_fraction,
+            "good_fraction": qos.good_fraction,
+            "output_changes": qos.total_changes,
+        }
+        clusters[label] = outcome.cluster
+    static, adaptive = sides["static"], sides["adaptive"]
+    saved = static["packets"]["sent"] - adaptive["packets"]["sent"]
+    details = {
+        "faults": faults,
+        "static": static,
+        "adaptive": adaptive,
+        "packets_saved": saved,
+        "packets_saved_fraction": (saved / static["packets"]["sent"]
+                                   if static["packets"]["sent"] else None),
+    }
+    qos_epsilon = 0.02  # "no worse" up to interval-measurement noise
+    fewer = adaptive["packets"]["sent"] < static["packets"]["sent"]
+    no_worse = (
+        adaptive["agreement_fraction"]
+        >= static["agreement_fraction"] - qos_epsilon
+        and adaptive["good_fraction"] >= static["good_fraction"] - qos_epsilon)
+    if not (static["omega_holds"] and adaptive["omega_holds"]):
+        verdict = Verdict.failed("omega did not hold on both sides")
+    elif not fewer:
+        verdict = Verdict.failed(
+            f"adaptive sent {adaptive['packets']['sent']} packets, "
+            f"static {static['packets']['sent']}: no saving")
+    elif not no_worse:
+        verdict = Verdict.failed(
+            f"adaptive QoS regressed beyond {qos_epsilon:g}: "
+            f"agreement {adaptive['agreement_fraction']:.3f} vs "
+            f"{static['agreement_fraction']:.3f}, good "
+            f"{adaptive['good_fraction']:.3f} vs "
+            f"{static['good_fraction']:.3f}")
+    else:
+        verdict = Verdict.passed(packets_saved=saved)
+    return verdict, details, clusters["adaptive"]
+
+
+def _run_e17(mode: str, **params: Any) -> tuple[Verdict, dict, Any]:
+    if mode == "budget":
+        return _run_e17_budget(**params)
+    if mode == "adaptive":
+        return _run_e17_adaptive(**params)
+    raise ValueError(f"unknown e17 mode {mode!r}")
+
+
 _RUNNERS: dict[str, Callable[..., tuple[Verdict, dict, Any]]] = {
     "e1": _run_e1,
     "e2": _run_e2,
     "e3": _run_e3,
     "e4": _run_e4,
+    "e17": _run_e17,
 }
 
 

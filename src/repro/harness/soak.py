@@ -39,6 +39,15 @@ use the crash-recovery notion of correctness (eventually-up counts).
 scripted schedule in which an unpersisted acceptor forgets its vote and
 two processes decide differently, demonstrating the violation stable
 storage exists to prevent.
+
+``python -m repro soak --degraded`` switches to the *hostile-link*
+campaign (:func:`sample_degraded_case`): round-robin over every
+registered Omega algorithm under plans from
+:func:`~repro.sim.nemesis.sample_degraded_plan` — sustained loss/delay
+storms, flapping links and duplication, with crashes rare.  Roughly
+half the cases on the adaptive-capable detectors flip
+``OmegaConfig.adaptive_qos`` on, so the estimator/backoff/batching
+layer soaks under exactly the link hostility it was built for.
 """
 
 from __future__ import annotations
@@ -54,7 +63,7 @@ from repro.core.checker import analyze_omega_run
 from repro.core.config import OmegaConfig
 from repro.harness.scenarios import OmegaScenario
 from repro.sim.nemesis import FaultPlan, ModelEnvelope, model_violations, \
-    sample_plan, sample_recovery_plan
+    sample_degraded_plan, sample_plan, sample_recovery_plan
 from repro.sim.topology import LinkTimings, multi_source_links
 
 __all__ = [
@@ -63,6 +72,7 @@ __all__ = [
     "campaign_digest",
     "recovery_control_case",
     "run_soak_case",
+    "sample_degraded_case",
     "sample_recovery_case",
     "sample_soak_case",
     "soak",
@@ -80,6 +90,16 @@ _SOAK_OMEGAS = ("all-timely", "comm-efficient", "f-source", "source")
 # majority-quorum heartbeat detectors (f-source needs explicit targets
 # and is exercised through the dedicated omega campaigns instead).
 _CONSENSUS_OMEGAS = ("source", "comm-efficient")
+
+# The hostile-link campaign round-robins over every registered Omega —
+# again a fixed tuple, not the registry, so (seed, index) -> case stays
+# stable if the registry grows.
+_DEGRADED_OMEGAS = ("all-timely", "source", "comm-efficient", "f-source",
+                    "crash-recovery", "packet-efficient")
+
+# The detectors wired to the adaptive degradation layer; only these may
+# run with ``OmegaConfig.adaptive_qos`` flipped on in sampled cases.
+_ADAPTIVE_OMEGAS = ("source", "comm-efficient", "packet-efficient")
 
 
 @dataclass(frozen=True)
@@ -100,6 +120,8 @@ class SoakCase:
     horizon: float
     plan: str                  # FaultPlan repro string
     recovery: bool = False     # crash-recovery campaign (persisted stacks)
+    degraded: bool = False     # hostile-link campaign (degraded plans)
+    adaptive: bool = False     # run with OmegaConfig.adaptive_qos on
 
     def fault_plan(self) -> FaultPlan:
         """The campaign's nemesis plan, parsed from its repro string."""
@@ -116,6 +138,10 @@ class SoakCase:
                  f"@{self.system} n={self.n} source={self.source}"]
         if self.recovery:
             parts.append("recovery")
+        if self.degraded:
+            parts.append("degraded")
+        if self.adaptive:
+            parts.append("adaptive")
         if self.targets:
             parts.append("targets=" + ",".join(map(str, self.targets)))
         parts.append(f"f={self.f} seed={self.seed} gst={self.gst:g} "
@@ -218,6 +244,56 @@ def sample_recovery_case(soak_seed: int, index: int) -> SoakCase:
                     horizon=_HORIZON, plan=plan.to_repro(), recovery=True)
 
 
+def sample_degraded_case(soak_seed: int, index: int) -> SoakCase:
+    """Draw campaign ``index`` of the hostile-link soak run.
+
+    Same determinism contract as :func:`sample_soak_case`.  Algorithms
+    round-robin over every registered Omega (``_DEGRADED_OMEGAS``), so
+    any case count that is a multiple of six covers the whole registry;
+    plans come from :func:`~repro.sim.nemesis.sample_degraded_plan`.
+    On the adaptive-capable detectors, roughly half the cases enable
+    ``OmegaConfig.adaptive_qos`` so the estimator/backoff/batching
+    layer is soaked alongside the static baseline.
+    """
+    rng = random.Random(f"soak-degraded/{soak_seed}/{index}")
+    algorithm = _DEGRADED_OMEGAS[index % len(_DEGRADED_OMEGAS)]
+    targets: tuple[int, ...] = ()
+    if algorithm == "all-timely":
+        system = rng.choice(["all-timely", "all-et"])
+        n = rng.randint(3, 7)
+        source = rng.randrange(n)
+        f = (n - 1) // 2
+    elif algorithm == "packet-efficient":
+        system = "all-et"  # needs every link ◇timely (see its module doc)
+        n = rng.randint(3, 7)
+        source = rng.randrange(n)
+        f = (n - 1) // 2
+    elif algorithm == "f-source":
+        system = "f-source"
+        n = rng.randint(5, 7)
+        source = rng.randrange(n)
+        others = [pid for pid in range(n) if pid != source]
+        targets = tuple(sorted(rng.sample(others, 2)))
+        f = 2
+    else:
+        system = rng.choice(["source", "multi-source"])
+        n = rng.randint(3, 7)
+        source = rng.randrange(n)
+        f = (n - 1) // 2
+    adaptive = algorithm in _ADAPTIVE_OMEGAS and rng.random() < 0.5
+    seed = rng.randrange(1_000_000)
+    gst = round(rng.uniform(0.0, 8.0), 2)
+    fair_loss = round(rng.uniform(0.0, 0.4), 2)
+    envelope = ModelEnvelope(n=n, source=source, f=f, gst=gst,
+                             horizon=_HORIZON)
+    plan = sample_degraded_plan(rng, envelope)
+    return SoakCase(index=index, kind="omega", algorithm=algorithm,
+                    system=system, n=n, source=source, targets=targets,
+                    f=f, seed=seed, gst=gst, fair_loss=fair_loss,
+                    horizon=_HORIZON, plan=plan.to_repro(),
+                    degraded=True, adaptive=adaptive)
+
+
 def run_soak_case(case: SoakCase) -> SoakResult:
     """Judge one campaign: model check first, then run and check invariants.
 
@@ -250,7 +326,7 @@ def _execute_omega(case: SoakCase, timings: LinkTimings) -> tuple[bool, str]:
         source=case.source, targets=case.targets,
         f=case.f if case.algorithm == "f-source" else None,
         faults=case.plan, seed=case.seed, horizon=case.horizon,
-        timings=timings, config=OmegaConfig())
+        timings=timings, config=OmegaConfig(adaptive_qos=case.adaptive))
     outcome = scenario.run()
     report = outcome.report
     if not report.verdict():
@@ -386,21 +462,28 @@ def campaign_digest(cases: list[SoakCase]) -> str:
 
 def soak(cases: int | None = None, minutes: float | None = None,
          soak_seed: int = 0, stop_on_failure: bool = False,
-         only: tuple[int, ...] = (), recovery: bool = False) -> list[SoakResult]:
+         only: tuple[int, ...] = (), recovery: bool = False,
+         degraded: bool = False) -> list[SoakResult]:
     """Run a soak campaign; returns one result per executed case.
 
     Exactly one of ``cases`` (fixed count) or ``minutes`` (wall-clock
     budget, sampling case after case until it runs out) must be given.
     ``only`` restricts execution to the named case indices — the replay
     path behind ``python -m repro soak --case N``.  ``recovery``
-    switches to the crash-recovery campaign (see module docstring).
+    switches to the crash-recovery campaign, ``degraded`` to the
+    hostile-link campaign (see module docstring); at most one of the
+    two may be set.
     """
     if (cases is None) == (minutes is None):
         raise ValueError("pass exactly one of cases= or minutes=")
     if cases is not None and cases < 1:
         raise ValueError("cases must be positive")
+    if recovery and degraded:
+        raise ValueError("recovery and degraded campaigns are exclusive")
 
-    sample = sample_recovery_case if recovery else sample_soak_case
+    sample = (sample_recovery_case if recovery
+              else sample_degraded_case if degraded
+              else sample_soak_case)
     results = []
     deadline = None if minutes is None else time.monotonic() + minutes * 60.0
     index = 0

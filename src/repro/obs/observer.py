@@ -42,6 +42,8 @@ _EVENT_KINDS = (
     "send",
     "deliver",
     "drop",
+    "packet_send",
+    "packet_deliver",
     "crash",
     "recover",
     "pause",
@@ -73,6 +75,19 @@ class Observer:
     def on_drop(self, time: float, src: int, dst: int, kind: str,
                 reason: str) -> None:
         """A message was dropped (``reason`` as in :class:`~repro.sim.trace.DropRecord`)."""
+
+    def on_packet_send(self, time: float, src: int, dst: int, kind: str,
+                       size: int, packets: int) -> None:
+        """A send cost ``size`` modeled bytes in ``packets`` packets.
+
+        Only dispatched when some observer overrides it: the network
+        computes wire sizes lazily (see :mod:`repro.sim.packets`), so
+        packet accounting is free for runs that do not ask for it.
+        """
+
+    def on_packet_deliver(self, time: float, src: int, dst: int, kind: str,
+                          size: int, packets: int) -> None:
+        """A delivery carried ``size`` modeled bytes in ``packets`` packets."""
 
     def on_crash(self, time: float, pid: int) -> None:
         """Process ``pid`` crashed (down until a possible recovery)."""

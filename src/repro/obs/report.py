@@ -38,6 +38,8 @@ Layout (``repro-report/v1``)
 ``networks``
     One block per network (failure-detector and agreement planes are
     separate): ``message_budget`` (total, by kind, by protocol phase),
+    ``packets`` (the per-packet budget of :mod:`repro.sim.packets`:
+    modeled bytes and MTU-sized packets, sent and delivered, by kind),
     ``busy_links`` (trailing-window census), and ``timeliness``
     (per-link classification plus ``matches_topology``).
 ``meta``
@@ -81,6 +83,8 @@ REPORT_SCHEMA = "repro-report/v1"
 PHASE_OF_KIND = {
     "Heartbeat": "steady-state",
     "Alive": "steady-state",
+    "BatchedAlive": "steady-state",
+    "Beat": "steady-state",
     "FsAlive": "steady-state",
     "Relay": "steady-state",
     "Suspect": "accusation",
@@ -109,6 +113,10 @@ class RunRecorder(Observer):
     def __init__(self) -> None:
         self.sent_by_kind: Counter[str] = Counter()
         self.dropped_by_reason: Counter[str] = Counter()
+        self.packets_by_kind: Counter[str] = Counter()
+        self.packet_bytes_by_kind: Counter[str] = Counter()
+        self.packets_delivered = 0
+        self.packet_bytes_delivered = 0
         self.leader_timeline: list[tuple[float, int, int]] = []
         self.decides: list[tuple[float, int, Any]] = []
         self.crashes: list[tuple[float, int]] = []
@@ -130,6 +138,18 @@ class RunRecorder(Observer):
                 reason: str) -> None:
         """Count the drop by reason."""
         self.dropped_by_reason[reason] += 1
+
+    def on_packet_send(self, time: float, src: int, dst: int, kind: str,
+                       size: int, packets: int) -> None:
+        """Tally the send's modeled wire cost (bytes and MTU packets)."""
+        self.packets_by_kind[kind] += packets
+        self.packet_bytes_by_kind[kind] += size
+
+    def on_packet_deliver(self, time: float, src: int, dst: int, kind: str,
+                          size: int, packets: int) -> None:
+        """Tally the delivered wire cost (duplicates count per copy)."""
+        self.packets_delivered += packets
+        self.packet_bytes_delivered += size
 
     def on_crash(self, time: float, pid: int) -> None:
         """Record the crash instant."""
@@ -269,6 +289,9 @@ class RunReport:
     def _network_block(self, label: str, network: Any) -> dict[str, Any]:
         recorder = network.hub.first(RunRecorder)
         sent_by_kind = recorder.sent_by_kind if recorder else Counter()
+        packets_by_kind = recorder.packets_by_kind if recorder else Counter()
+        bytes_by_kind = (recorder.packet_bytes_by_kind if recorder
+                         else Counter())
         block: dict[str, Any] = {
             "label": label,
             "message_budget": {
@@ -279,6 +302,19 @@ class RunReport:
                 "dropped_by_reason": dict(sorted(
                     (recorder.dropped_by_reason if recorder
                      else Counter()).items())),
+            },
+            "packets": {
+                "mtu": getattr(network, "mtu", None),
+                "sent": sum(packets_by_kind.values()),
+                "bytes_sent": sum(bytes_by_kind.values()),
+                "by_kind": {
+                    kind: {"packets": packets_by_kind[kind],
+                           "bytes": bytes_by_kind[kind]}
+                    for kind in sorted(packets_by_kind)},
+                "delivered": (recorder.packets_delivered
+                              if recorder else 0),
+                "bytes_delivered": (recorder.packet_bytes_delivered
+                                    if recorder else 0),
             },
         }
         # Duck-typed: any network built through Cluster/ConsensusSystem
@@ -556,6 +592,39 @@ def validate_report(document: dict[str, Any]) -> list[str]:
         if (isinstance(budget.get("by_phase"), dict)
                 and budget.get("total") != sum(budget["by_phase"].values())):
             problems.append(f"{where} budget total != sum of by_phase")
+        packets = block.get("packets")
+        if not isinstance(packets, dict):
+            problems.append(f"{where} missing packets block")
+        else:
+            for key in ("sent", "bytes_sent", "delivered",
+                        "bytes_delivered"):
+                if not isinstance(packets.get(key), int):
+                    problems.append(f"{where}.packets.{key} must be int")
+            by_kind = packets.get("by_kind")
+            if not isinstance(by_kind, dict):
+                problems.append(f"{where}.packets.by_kind must be dict")
+            else:
+                for kind, stats in by_kind.items():
+                    if (not isinstance(stats, dict)
+                            or not isinstance(stats.get("packets"), int)
+                            or not isinstance(stats.get("bytes"), int)):
+                        problems.append(
+                            f"{where}.packets.by_kind[{kind!r}] needs int "
+                            "packets/bytes")
+                        break
+                else:
+                    if packets.get("sent") != sum(
+                            stats["packets"] for stats in by_kind.values()):
+                        problems.append(
+                            f"{where}.packets.sent != sum of by_kind")
+                    if packets.get("bytes_sent") != sum(
+                            stats["bytes"] for stats in by_kind.values()):
+                        problems.append(
+                            f"{where}.packets.bytes_sent != sum of by_kind")
+            if (isinstance(packets.get("sent"), int)
+                    and isinstance(packets.get("bytes_sent"), int)
+                    and packets["sent"] == 0 and packets["bytes_sent"] > 0):
+                problems.append(f"{where}.packets has bytes but no packets")
         timeliness = block.get("timeliness")
         if timeliness is not None:
             if "matches_topology" not in timeliness:
@@ -635,6 +704,13 @@ def render_report_text(document: dict[str, Any]) -> str:
             [[phase, count] for phase, count in budget["by_phase"].items()],
             title=f"message budget: {block['label']} "
                   f"(total {budget['total']:,})"))
+        packets = block.get("packets")
+        if packets and packets.get("sent"):
+            lines.append(f"  packets (mtu {packets.get('mtu')}): "
+                         f"sent={packets['sent']:,} "
+                         f"({packets['bytes_sent']:,} B)  "
+                         f"delivered={packets['delivered']:,} "
+                         f"({packets['bytes_delivered']:,} B)")
         census = block.get("busy_links")
         if census:
             lines.append(f"  busy links (last {census['window_s']:g}s): "

@@ -36,12 +36,14 @@ from repro.sim.nemesis import (
     model_violations,
     parse_event,
     process_classes,
+    sample_degraded_plan,
     sample_plan,
     sample_recovery_plan,
 )
 from repro.sim.messages import Message
 from repro.sim.metrics import MetricsCollector, WindowStats
 from repro.sim.network import Network, NetworkError
+from repro.sim.packets import DEFAULT_MTU, packet_count, wire_size
 from repro.sim.process import Process, ProcessError
 from repro.sim.rng import RngFabric
 from repro.sim.storage import StableStorage, StorageError
@@ -93,6 +95,7 @@ __all__ = [
     "model_violations",
     "parse_event",
     "process_classes",
+    "sample_degraded_plan",
     "sample_plan",
     "sample_recovery_plan",
     "DegradedWindow",
@@ -108,6 +111,9 @@ __all__ = [
     "WindowStats",
     "Network",
     "NetworkError",
+    "DEFAULT_MTU",
+    "packet_count",
+    "wire_size",
     "Process",
     "ProcessError",
     "RngFabric",

@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from typing import Hashable
 
+from repro.sim.packets import wire_size
+
 __all__ = ["Message"]
 
 
@@ -47,6 +49,16 @@ class Message:
     def fairness_key(self) -> Hashable:
         """Message *type* for typed fair-lossy link fairness."""
         return type(self).__name__
+
+    def wire_size(self) -> int:
+        """Modeled bytes on the wire (see :mod:`repro.sim.packets`).
+
+        Derived from the dataclass fields, so a message carrying an
+        unbounded counter grows with it while bounded-field messages
+        stay bounded — the distinction packet accounting exists to
+        expose.  Subclasses with non-field payloads may override.
+        """
+        return wire_size(self)
 
     def describe(self) -> str:
         """One-line rendering used by traces; override for brevity."""

@@ -79,6 +79,7 @@ __all__ = [
     "Nemesis",
     "sample_plan",
     "sample_recovery_plan",
+    "sample_degraded_plan",
     "parse_event",
 ]
 
@@ -331,9 +332,14 @@ class _LinkWindowFault(FaultEvent):
     pairs: tuple[tuple[int, int], ...]
 
     def __post_init__(self) -> None:
-        if self.end <= self.start:
-            raise FaultPlanError(f"{self.kind} must have positive duration")
+        # Normalize the pairs first so a degenerate window can be
+        # reported with the links it targets, not just the fault kind.
         object.__setattr__(self, "pairs", _normalized_pairs(self.pairs))
+        if self.end <= self.start:
+            raise FaultPlanError(
+                f"{self.kind} on {_fmt_pairs(self.pairs)} has degenerate "
+                f"window [{self.start:g}, {self.end:g}); end must come "
+                f"after start")
 
     def window(self) -> tuple[float, float]:
         return (self.start, self.end)
@@ -990,6 +996,67 @@ def sample_recovery_plan(rng: random.Random,
                 start, end, pairs,
                 loss=round(rng.uniform(0.2, 0.8), 2),
                 delay=round(rng.uniform(0.0, 0.8), 2)))
+
+    return FaultPlan(events)
+
+
+def sample_degraded_plan(rng: random.Random,
+                         envelope: ModelEnvelope) -> FaultPlan:
+    """Draw one random hostile-link plan that is in-model for ``envelope``.
+
+    Where :func:`sample_plan` spreads its budget across the whole fault
+    zoo, this sampler concentrates on *link hostility* — the regime the
+    adaptive degradation layer (``OmegaConfig.adaptive_qos``) is built
+    for.  Every plan carries at least one sustained loss/delay storm,
+    usually flapping, and often duplication; crashes are rare and spare
+    the source.  All disturbances heal by ``envelope.heal_by`` so the
+    plans stay in-model by construction: a post-storm calm long enough
+    for "eventually" remains before the horizon.
+    """
+    n, source = envelope.n, envelope.source
+    heal_by = envelope.heal_by
+    others = [pid for pid in range(n) if pid != source]
+    all_pairs = [(i, j) for i in range(n) for j in range(n) if i != j]
+    events: list[FaultEvent] = []
+
+    def sample_window(min_len: float, max_len: float) -> tuple[float, float]:
+        start = round(rng.uniform(1.0, heal_by * 0.5), 2)
+        end = round(min(start + rng.uniform(min_len, max_len), heal_by), 2)
+        if end <= start:
+            end = round(min(start + min_len, heal_by), 2)
+        return start, end
+
+    def sample_pairs(count: int) -> tuple[tuple[int, int], ...]:
+        return tuple(sorted(rng.sample(all_pairs, min(count, len(all_pairs)))))
+
+    # The signature storm: heavy, sustained loss (and some delay) on a
+    # wide slice of the links.  Always present.
+    for _ in range(rng.randint(1, 3)):
+        start, end = sample_window(10.0, heal_by * 0.6)
+        events.append(DegradeFault(
+            start, end, sample_pairs(rng.randint(2, max(2, len(all_pairs) // 3))),
+            loss=round(rng.uniform(0.4, 0.9), 2),
+            delay=round(rng.uniform(0.1, 1.5), 2)))
+
+    # Flapping links: short up/down cycles the estimator must ride out.
+    if rng.random() < 0.7:
+        start, end = sample_window(8.0, 30.0)
+        events.append(FlapFault(
+            start, end, sample_pairs(rng.randint(1, 3)),
+            period=round(rng.uniform(0.5, 4.0), 2),
+            up=round(rng.uniform(0.2, 0.6), 2)))
+
+    # Duplication storms: always legal, so let them overlap the storms.
+    if rng.random() < 0.5:
+        start, end = sample_window(10.0, 40.0)
+        events.append(DuplicateFault(
+            start, end, sample_pairs(rng.randint(1, 3)),
+            p=round(rng.uniform(0.2, 0.6), 2)))
+
+    # A rare crash, never the source, within the fault bound.
+    if envelope.f > 0 and others and rng.random() < 0.25:
+        events.append(CrashFault(round(rng.uniform(1.0, heal_by), 2),
+                                 rng.choice(others)))
 
     return FaultPlan(events)
 

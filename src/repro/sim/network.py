@@ -42,6 +42,7 @@ from repro.sim.engine import Simulation
 from repro.sim.links import DegradedWindow, LinkPolicy, PerturbedLink, TimelyLink
 from repro.sim.messages import Message
 from repro.sim.metrics import MetricsCollector
+from repro.sim.packets import DEFAULT_MTU, packet_count
 from repro.sim.trace import TraceLog
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -88,6 +89,10 @@ class Network:
         Deprecated; attach :class:`~repro.sim.trace.TraceLog` /
         :class:`~repro.sim.metrics.MetricsCollector` instances through
         ``observers`` instead.
+    mtu:
+        Packet size used to convert modeled wire bytes into packet
+        counts (see :mod:`repro.sim.packets`).  Only consulted when a
+        packet observer is attached; the default run pays nothing.
     """
 
     def __init__(
@@ -97,6 +102,7 @@ class Network:
         metrics: MetricsCollector | None = None,
         default_link: Callable[[], LinkPolicy] = TimelyLink,
         observers: Iterable[Observer] | None = None,
+        mtu: int = DEFAULT_MTU,
     ) -> None:
         self.sim = sim
         self.hub = ObserverHub()
@@ -116,6 +122,9 @@ class Network:
             for observer in observers:
                 self.hub.attach(observer)
         attach_captured(self.hub, self)
+        if mtu <= 0:
+            raise NetworkError("mtu must be positive")
+        self.mtu = mtu
         self._default_link = default_link
         self._processes: dict[int, "Process"] = {}
         self._links: dict[tuple[int, int], LinkPolicy] = {}
@@ -306,6 +315,14 @@ class Network:
         if send_cbs:
             for callback in send_cbs:
                 callback(now, src, dst, kind)
+        packet_cbs = hub.packet_send_cbs
+        if packet_cbs:
+            # Wire size is computed only here, so runs without a packet
+            # observer never pay for the accounting model.
+            size = message.wire_size()
+            packets = packet_count(size, self.mtu)
+            for callback in packet_cbs:
+                callback(now, src, dst, kind, size, packets)
 
         if self._partitions and self.partitioned(src, dst, now):
             for callback in hub.drop_cbs:
@@ -358,6 +375,13 @@ class Network:
             kind = message.kind
             for callback in deliver_cbs:
                 callback(now, src, dst, kind, sent_at)
+        packet_cbs = hub.packet_deliver_cbs
+        if packet_cbs:
+            kind = message.kind
+            size = message.wire_size()
+            packets = packet_count(size, self.mtu)
+            for callback in packet_cbs:
+                callback(now, src, dst, kind, size, packets)
         receiver.deliver(message)
 
     # ------------------------------------------------------------------

@@ -9,6 +9,7 @@ from repro.core.comm_efficient import CommEfficientOmega
 from repro.core.config import OmegaConfig
 from repro.core.f_source import FSourceOmega
 from repro.core.omega import OmegaProtocol
+from repro.core.packet_efficient import PacketEfficientOmega
 from repro.core.registry import OMEGA_ALGORITHMS, algorithm_class, make_factory
 from repro.core.source_omega import SourceOmega
 from repro.sim.engine import Simulation
@@ -61,7 +62,7 @@ class TestRegistry:
     def test_known_names(self) -> None:
         assert set(OMEGA_ALGORITHMS) == {
             "all-timely", "source", "comm-efficient", "f-source",
-            "crash-recovery",
+            "crash-recovery", "packet-efficient",
         }
 
     def test_algorithm_class_lookup(self) -> None:
@@ -69,6 +70,7 @@ class TestRegistry:
         assert algorithm_class("source") is SourceOmega
         assert algorithm_class("comm-efficient") is CommEfficientOmega
         assert algorithm_class("f-source") is FSourceOmega
+        assert algorithm_class("packet-efficient") is PacketEfficientOmega
 
     def test_unknown_name_lists_known(self) -> None:
         with pytest.raises(KeyError, match="all-timely"):

@@ -129,6 +129,114 @@ class TestDetectionTimes:
         assert qos.worst_detection_time is None
 
 
+class TestEmptyHistoryWitnesses:
+    """A process with no output in the window must not zero the fractions."""
+
+    def test_unstarted_process_does_not_zero_agreement(self) -> None:
+        cluster = scripted_cluster()
+        for pid in (0, 1):           # pid 2 never starts: empty history
+            cluster.process(pid).start()
+            cluster.process(pid)._output(1)
+        cluster.run_until(10.0)
+        qos = measure_qos(cluster)
+        assert qos.agreement_fraction == pytest.approx(1.0)
+        assert qos.good_fraction == pytest.approx(1.0)
+
+    def test_all_empty_histories_yield_zero_fractions(self) -> None:
+        cluster = scripted_cluster()
+        cluster.run_until(5.0)       # nobody ever started
+        qos = measure_qos(cluster)
+        assert qos.agreement_fraction == 0.0
+        assert qos.good_fraction == 0.0
+
+    def test_midwindow_start_still_denies_early_agreement(self) -> None:
+        cluster = scripted_cluster()
+        for pid in (0, 1):
+            cluster.process(pid).start()
+            cluster.process(pid)._output(1)
+        cluster.run_until(5.0)
+        cluster.process(2).start()   # joins halfway through the window
+        cluster.process(2)._output(1)
+        cluster.run_until(10.0)
+        qos = measure_qos(cluster)
+        assert qos.agreement_fraction == pytest.approx(0.5)
+
+
+class TestQoSUnderFaultPlans:
+    """Known-answer QoS under degraded and flapping link plans."""
+
+    @staticmethod
+    def _run(faults: str, seed: int = 3):
+        scenario = OmegaScenario(
+            algorithm="comm-efficient", n=4, system="source", source=2,
+            seed=seed, horizon=120.0, faults=faults, trace=True,
+            timings=LinkTimings(gst=5.0))
+        cluster = scenario.build()
+        cluster.start_all()
+        cluster.run_until(120.0)
+        return cluster
+
+    _STORM = ("degrade(start=20.0,end=60.0,"
+              "pairs=0>1;0>2;0>3;1>0;1>2;1>3;2>0;2>1;2>3;3>0;3>1;3>2,"
+              "loss=0.5,delay=0.5)")
+    _FLAP = ("flap(start=20.0,end=60.0,pairs=2>0;2>1;2>3,"
+             "period=10.0,up=0.2)")
+
+    def test_degrade_storm_dents_agreement_then_heals(self) -> None:
+        cluster = self._run(self._STORM)
+        storm = measure_qos(cluster, start=20.0, end=60.0)
+        calm = measure_qos(cluster, start=90.0, end=120.0)
+        assert storm.agreement_fraction < 1.0
+        assert calm.agreement_fraction > 0.95
+        assert storm.good_fraction <= storm.agreement_fraction
+
+    def test_flapping_source_recovers_after_window(self) -> None:
+        cluster = self._run(self._FLAP)
+        whole = measure_qos(cluster, start=20.0, end=120.0)
+        calm = measure_qos(cluster, start=80.0, end=120.0)
+        assert whole.total_changes > 0
+        assert calm.agreement_fraction > 0.95
+
+    def test_fault_plan_qos_is_deterministic(self) -> None:
+        first = measure_qos(self._run(self._STORM), start=20.0, end=120.0)
+        second = measure_qos(self._run(self._STORM), start=20.0, end=120.0)
+        assert first.agreement_fraction == second.agreement_fraction
+        assert first.good_fraction == second.good_fraction
+        assert first.changes_by_pid == second.changes_by_pid
+
+
+class TestPacketAccountingDeterminism:
+    """Same seed => byte-identical packet tallies, at any parallelism."""
+
+    def test_scenario_tallies_are_reproducible(self) -> None:
+        from repro.harness.bench import _PacketTally
+        from repro.obs.observer import capture
+
+        def tally() -> dict:
+            scenario = OmegaScenario(algorithm="comm-efficient", n=4,
+                                     system="source", source=2, seed=5,
+                                     horizon=60.0)
+            with capture(_PacketTally):
+                outcome = scenario.run()
+            network = outcome.cluster.network
+            return network.hub.first(_PacketTally).block(network.mtu)
+
+        assert tally() == tally()
+
+    def test_e17_results_identical_across_jobs(self) -> None:
+        from repro.harness.bench import default_suite, run_suite
+
+        cases = [case for case in default_suite(seed=7, quick=True)
+                 if case.experiment == "e17"]
+        assert cases, "quick suite must include e17 rows"
+        serial = run_suite(cases, jobs=1)
+        parallel = run_suite(cases, jobs=2)
+        strip = lambda results: [  # noqa: E731 - local projection
+            {key: value for key, value in result.items() if key != "timing"}
+            for result in results]
+        assert strip(serial) == strip(parallel)
+
+
 class TestOnRealRuns:
     def test_comm_efficient_qos_is_high(self) -> None:
         scenario = OmegaScenario(algorithm="comm-efficient", n=5,
