@@ -347,6 +347,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
                                     quick=args.quick, full=args.full)
     except ValueError as error:
         raise SystemExit(str(error))
+    if args.filter:
+        import fnmatch
+
+        cases = [case for case in cases
+                 if fnmatch.fnmatchcase(case.case_id, args.filter)]
+        if not cases:
+            raise SystemExit(
+                f"--filter {args.filter!r} matches no case in this suite")
     jobs = args.jobs if args.jobs else (os.cpu_count() or 1)
     started = time.perf_counter()
     results = bench.run_suite(cases, jobs=jobs)
@@ -379,7 +387,38 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print("\nverdict regressions:")
         for case_id in failed:
             print(f"  FAIL {case_id}")
-    return 1 if failed else 0
+    drifted = False
+    if args.compare:
+        import json
+
+        try:
+            with open(args.compare) as handle:
+                old = json.load(handle)
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"cannot read {args.compare}: {error}")
+        diff = bench.compare_reports(old, report)
+        drift_rows = [
+            [row["case_id"],
+             f"{row['old_events_per_s']:,.0f}" if row["old_events_per_s"] else "-",
+             f"{row['new_events_per_s']:,.0f}" if row["new_events_per_s"] else "-",
+             f"{(row['ratio'] - 1) * 100:+.1f}%" if row["ratio"] else "-"]
+            for row in diff["throughput"]
+        ]
+        print()
+        print(render_table(
+            ["case", "old events/s", "new events/s", "drift"], drift_rows,
+            title=f"throughput vs {args.compare}"))
+        for label in ("added", "removed"):
+            if diff[label]:
+                print(f"{label} cases: {', '.join(diff[label])}")
+        if diff["changed"]:
+            drifted = True
+            print("\ndeterministic results changed (verdict/result drift):")
+            for case_id in diff["changed"]:
+                print(f"  CHANGED {case_id}")
+        else:
+            print("deterministic results identical for all common cases")
+    return 1 if failed or drifted else 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -620,7 +659,16 @@ def build_parser() -> argparse.ArgumentParser:
                            help="include the heaviest rows (E3 at n=128)")
     bench_cmd.add_argument("--experiments", default="",
                            metavar="E1,E2,...",
-                           help="comma-separated subset of e1,e2,e3,e4")
+                           help="comma-separated subset of "
+                                "e1,e2,e3,e4,e17,e18")
+    bench_cmd.add_argument("--filter", default="", metavar="GLOB",
+                           help="run only cases whose case_id matches this "
+                                "glob (e.g. 'e18/*' or '*/n=32')")
+    bench_cmd.add_argument("--compare", default="", metavar="OLD.json",
+                           help="diff the fresh report against a previous "
+                                "one: print per-case events/s drift, exit "
+                                "nonzero if any deterministic result "
+                                "changed")
     bench_cmd.add_argument("--out", default="",
                            help="report path (default BENCH_<date>.json)")
     bench_cmd.add_argument("--no-out", action="store_true",

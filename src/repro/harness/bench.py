@@ -1,8 +1,9 @@
 """Scale-out experiment bench runner.
 
 This module turns the E1–E4 experiment suite (plus E17, the
-packet-budget and adaptive-degradation rows of docs/DEGRADATION.md)
-into a list of independent :class:`BenchCase` values, fans them out
+packet-budget and adaptive-degradation rows of docs/DEGRADATION.md,
+and E18, the large-n communication-efficiency census at n = 256/512/
+1024) into a list of independent :class:`BenchCase` values, fans them out
 across CPU cores with ``multiprocessing``, and merges the results into
 a versioned, machine-readable report (``BENCH_<date>.json``) so the
 repository's performance trajectory is measurable run over run.
@@ -58,13 +59,14 @@ __all__ = [
     "build_report",
     "report_to_json",
     "strip_nondeterministic",
+    "compare_reports",
     "default_output_name",
 ]
 
 SCHEMA_VERSION = "repro-bench/v1"
 """Version tag of the JSON report layout; bump on breaking changes."""
 
-EXPERIMENTS = ("e1", "e2", "e3", "e4", "e17")
+EXPERIMENTS = ("e1", "e2", "e3", "e4", "e17", "e18")
 """Experiment families the runner knows how to fan out."""
 
 _TIMINGS = LinkTimings(gst=5.0)
@@ -121,7 +123,8 @@ def default_suite(
     quick:
         CI-smoke sizing: a handful of small-n, short-horizon cases.
     full:
-        Also include the heaviest large-n rows (E3 census at n = 128).
+        Also include the heaviest large-n rows (E3 census at n = 128,
+        E18 at n = 512 and n = 1024).
     """
     unknown = set(experiments) - set(EXPERIMENTS)
     if unknown:
@@ -213,6 +216,16 @@ def default_suite(
                 case_id=f"e17/adaptive-vs-static/n={n}",
                 experiment="e17",
                 params={"mode": "adaptive", "n": n, "seed": seed}))
+
+    if "e18" in experiments and not quick:
+        # Large-n CE census: the paper's n-1-links claim at the next
+        # order of magnitude.  n=256 rides in the default suite; the
+        # n=512/1024 rows are --full material (tens of seconds each).
+        for n in ((256, 512, 1024) if full else (256,)):
+            cases.append(BenchCase(
+                case_id=f"e18/comm-efficient/n={n}",
+                experiment="e18",
+                params={"n": n, "seed": seed}))
 
     return cases
 
@@ -497,12 +510,57 @@ def _run_e17(mode: str, **params: Any) -> tuple[Verdict, dict, Any]:
     raise ValueError(f"unknown e17 mode {mode!r}")
 
 
+_E18_HORIZONS = {256: 400.0, 512: 500.0, 1024: 600.0}
+"""Sim-seconds per E18 size: steady tails scaled with n, sized so the
+n=1024 row stays within a one-minute single-core wall budget (steady
+state costs ~5 wall-seconds per 100 sim-seconds at n=1024)."""
+
+
+def _run_e18(n: int, seed: int) -> tuple[Verdict, dict, Any]:
+    # Large-n census runs the paper's steady-state regime: the source is
+    # the priority minimum (pid 0) and the initial timeout clears the
+    # worst pre-GST delay (8 > eta + pre_gst_delay_max = 5.5), so no
+    # process is falsely accused and the run goes quiet right after
+    # stabilization.  The alternative — a worst-case accusation race —
+    # scales super-linearly in wall time (measured 1281.5 sim-s to
+    # stabilize at n=256) and measures the race, not the census.
+    # link_rng="src" keeps RNG setup at n streams instead of n².
+    outcome = OmegaScenario(
+        algorithm="comm-efficient", n=n, system="source", source=0,
+        seed=seed, horizon=_E18_HORIZONS.get(n, 600.0), ce_window=20.0,
+        timings=_TIMINGS, config=OmegaConfig(initial_timeout=8.0),
+        link_rng="src").run()
+    active = len(outcome.comm.links)
+    ok = (outcome.stabilized and active == n - 1
+          and outcome.communication_efficient)
+    details = {
+        "links_active_final_window": active,
+        "ce_target": n - 1,
+        "full_mesh": n * (n - 1),
+        "communication_efficient": outcome.communication_efficient,
+        "omega_holds": outcome.report.omega_holds,
+        "stabilization_time_s": outcome.report.stabilization_time,
+        "final_leader": outcome.report.final_leader,
+    }
+    if ok:
+        verdict = Verdict.passed(links_active_final_window=active)
+    else:
+        verdict = Verdict.failed(
+            f"expected a stabilized run with exactly {n - 1} busy links, "
+            f"got {active} (omega_holds="
+            f"{outcome.report.omega_holds}, ce="
+            f"{outcome.communication_efficient})",
+            links_active_final_window=active)
+    return verdict, details, outcome.cluster
+
+
 _RUNNERS: dict[str, Callable[..., tuple[Verdict, dict, Any]]] = {
     "e1": _run_e1,
     "e2": _run_e2,
     "e3": _run_e3,
     "e4": _run_e4,
     "e17": _run_e17,
+    "e18": _run_e18,
 }
 
 
@@ -610,6 +668,50 @@ def strip_nondeterministic(report: dict) -> dict:
         for case in report["cases"]
     ]
     return core
+
+
+def compare_reports(old: dict, new: dict) -> dict:
+    """Diff two bench reports: determinism drift and throughput drift.
+
+    Compares the :func:`strip_nondeterministic` projections per case
+    (``changed`` lists cases whose deterministic record — verdict,
+    result, events, profile — differs) and, for cases present in both
+    reports, the nondeterministic ``timing.events_per_s`` figures
+    (``throughput`` rows; ``ratio`` is new/old).  ``added``/``removed``
+    list case_ids present in only one report — suite-shape changes, not
+    regressions.  ``ok`` is True iff no common case's deterministic
+    record changed; the CLI's ``bench --compare`` exits nonzero on it.
+    """
+    old_cases = {case["case_id"]: case
+                 for case in strip_nondeterministic(old)["cases"]}
+    new_cases = {case["case_id"]: case
+                 for case in strip_nondeterministic(new)["cases"]}
+    changed = [case_id for case_id, case in new_cases.items()
+               if case_id in old_cases and old_cases[case_id] != case]
+    old_timing = {case["case_id"]: case.get("timing") or {}
+                  for case in old["cases"]}
+    new_timing = {case["case_id"]: case.get("timing") or {}
+                  for case in new["cases"]}
+    throughput = []
+    for case_id in new_cases:
+        if case_id not in old_cases:
+            continue
+        old_eps = old_timing[case_id].get("events_per_s")
+        new_eps = new_timing[case_id].get("events_per_s")
+        throughput.append({
+            "case_id": case_id,
+            "old_events_per_s": old_eps,
+            "new_events_per_s": new_eps,
+            "ratio": (new_eps / old_eps
+                      if old_eps and new_eps else None),
+        })
+    return {
+        "ok": not changed,
+        "changed": changed,
+        "added": sorted(set(new_cases) - set(old_cases)),
+        "removed": sorted(set(old_cases) - set(new_cases)),
+        "throughput": throughput,
+    }
 
 
 def report_to_json(report: dict) -> str:

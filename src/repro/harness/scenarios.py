@@ -97,6 +97,11 @@ class OmegaScenario:
     sugar; the general fault language is the ``faults`` field — a
     :class:`~repro.sim.nemesis.FaultPlan` repro string (pauses, healing
     partitions, link storms...), scheduled alongside the crashes.
+
+    ``link_rng`` selects the link RNG stream granularity (``"pair"``,
+    the default, or ``"src"``; see :class:`~repro.sim.network.Network`)
+    — the large-n experiment families run ``"src"`` to avoid n²
+    stream setup.
     """
 
     algorithm: str
@@ -116,6 +121,7 @@ class OmegaScenario:
     timings: LinkTimings = field(default_factory=lambda: LinkTimings(gst=5.0))
     config: OmegaConfig = field(default_factory=OmegaConfig)
     trace: bool = False
+    link_rng: str = "pair"
 
     def __post_init__(self) -> None:
         if self.system not in SYSTEM_NAMES:
@@ -177,7 +183,8 @@ class OmegaScenario:
                                f=self.effective_f,
                                quorum_override=self.quorum_override)
         cluster = Cluster.build(self.n, factory, links=self.link_map(),
-                                seed=self.seed, trace=self.trace)
+                                seed=self.seed, trace=self.trace,
+                                link_rng=self.link_rng)
         plan = self.fault_plan()
         if plan:
             plan.schedule(cluster)

@@ -40,6 +40,7 @@ ObserverT = TypeVar("ObserverT", bound="Observer")
 # Event kinds dispatched by the hub; ``on_<kind>`` is the observer hook.
 _EVENT_KINDS = (
     "send",
+    "send_batch",
     "deliver",
     "drop",
     "packet_send",
@@ -67,6 +68,20 @@ class Observer:
 
     def on_send(self, time: float, src: int, dst: int, kind: str) -> None:
         """A message of ``kind`` was handed to the network on ``src -> dst``."""
+
+    def on_send_batch(self, time: float, src: int,
+                      dsts: tuple[int, ...], kind: str) -> None:
+        """``src`` handed the network one message of ``kind`` per pid in ``dsts``.
+
+        The batched form of :meth:`on_send`, dispatched once per
+        broadcast fan-out instead of once per destination.  An observer
+        that overrides this hook is *batch-aware*: for broadcast traffic
+        it receives this single call and **not** n−1 :meth:`on_send`
+        calls (unbatched ``Network.send`` traffic still arrives via
+        :meth:`on_send`).  Observers that override only :meth:`on_send`
+        keep receiving one call per destination, exactly as before the
+        batched fast path existed.
+        """
 
     def on_deliver(self, time: float, src: int, dst: int, kind: str,
                    sent_at: float) -> None:
@@ -183,6 +198,17 @@ class ObserverHub:
                 if getattr(type(obs), hook, base) is not base
             )
             setattr(self, kind + "_cbs", callbacks)
+        # Batched fan-out support: observers that override on_send but
+        # NOT on_send_batch still get per-destination calls on the
+        # broadcast fast path; batch-aware observers get the one
+        # on_send_batch call instead (never both).
+        send_base = Observer.on_send
+        batch_base = Observer.on_send_batch
+        self.send_only_cbs = tuple(
+            obs.on_send for obs in self._observers
+            if getattr(type(obs), "on_send", send_base) is not send_base
+            and getattr(type(obs), "on_send_batch", batch_base) is batch_base
+        )
 
     # ------------------------------------------------------------------
     # Cold-path dispatch (hot paths inline the *_cbs tuples instead)

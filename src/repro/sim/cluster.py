@@ -55,6 +55,7 @@ class Cluster:
         trace: bool = False,
         metrics_window: float = 1.0,
         observers: Iterable[Observer] = (),
+        link_rng: str = "pair",
     ) -> "Cluster":
         """Assemble a cluster of ``n`` processes with pids ``0..n-1``.
 
@@ -83,6 +84,10 @@ class Cluster:
             Aggregation window of the metrics collector.
         observers:
             Extra observers to attach to the network's hub.
+        link_rng:
+            Link RNG stream granularity, forwarded to
+            :class:`~repro.sim.network.Network`: ``"pair"`` (default)
+            or ``"src"`` (one stream per sender; the large-n setting).
         """
         if n < 2:
             raise ValueError("a distributed system needs at least 2 processes")
@@ -91,7 +96,7 @@ class Cluster:
             MetricsCollector(window=metrics_window),
             *((TraceLog(enabled=True),) if trace else ()),
             *observers,
-        ))
+        ), link_rng=link_rng)
         if links is not None:
             apply_links(network, links)
         processes = {pid: process_factory(pid, sim, network) for pid in range(n)}

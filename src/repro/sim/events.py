@@ -13,6 +13,12 @@ tombstone when it reaches the top of the heap, or earlier during a
 compaction sweep (see :meth:`repro.sim.engine.Simulation` internals).
 Nothing is ever removed from the middle of the heap, which keeps every
 heap operation O(log n).
+
+Under the calendar-queue scheduler, only cancellable events (those with
+an :class:`EventHandle`, from ``call_at``/``call_after``) live on the
+overflow heap; fire-and-forget events go to the calendar buckets and
+are never tombstoned — which is what keeps tombstone accounting and
+compaction heap-only and cheap.
 """
 
 from __future__ import annotations

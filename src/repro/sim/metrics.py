@@ -83,6 +83,26 @@ class MetricsCollector(Observer):
         self._window_links[index].add((src, dst))
         self._window_messages[index] += 1
 
+    def on_send_batch(self, time: float, src: int,
+                      dsts: tuple[int, ...], kind: str) -> None:
+        """Account a broadcast fan-out in one call (one message per dst).
+
+        Batch-aware form of :meth:`on_send`: the aggregates end up
+        identical, but the per-sender/per-kind/per-window counters are
+        bumped once by ``len(dsts)`` instead of ``len(dsts)`` times.
+        """
+        count = len(dsts)
+        self.sent_by_sender[src] += count
+        self.sent_by_kind[kind] += count
+        index = int(time // self.window)
+        self._window_senders[index].add(src)
+        self._window_messages[index] += count
+        sent_by_link = self.sent_by_link
+        window_links = self._window_links[index]
+        for dst in dsts:
+            sent_by_link[(src, dst)] += 1
+            window_links.add((src, dst))
+
     def on_deliver(self, time: float, src: int, dst: int, kind: str,
                    sent_at: float = 0.0) -> None:
         """Account one delivered message (``sent_at`` is unused here)."""

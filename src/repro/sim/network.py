@@ -20,14 +20,29 @@ process skip the stale check entirely.
 
 Hot path
 --------
-``send`` is the busiest function in the repository (every heartbeat of
-every process crosses it), so it avoids re-deriving anything per call:
-the ``(policy, rng_stream)`` pair of each ordered link is cached in a
-route table (invalidated by :meth:`set_link`/:meth:`perturb_link`), the
-sorted pid tuple used by ``broadcast`` is cached at registration time,
-and observer dispatch iterates the hub's precomputed per-event callback
-tuples — an empty tuple (no observer overrides that hook) costs one
-truthiness check, exactly like the old lazy-trace guard.
+``send``/``broadcast`` are the busiest functions in the repository
+(every heartbeat of every process crosses them), so they avoid
+re-deriving anything per call:
+
+* Per-pair state lives in **flat arrays indexed by ``src * stride + dst``**
+  (``stride`` = highest pid + 1), not per-pair dicts: the route table
+  caches each ordered link's ``(policy, rng_stream)`` pair in one slot,
+  so the per-message lookup is an integer multiply and a list index
+  instead of a tuple hash.  The arrays are (re)built lazily on first
+  use after a registration; :meth:`set_link`/:meth:`perturb_link` clear
+  just the affected slot, so fault injection still takes effect
+  immediately.
+* ``broadcast`` has a **batched fast path**: one pass computes all n−1
+  delivery times (partition membership is resolved once per broadcast,
+  wire size is computed once per message, and links that keep the
+  default one-copy ``plan_all`` are called through ``plan`` directly)
+  and bulk-posts them through a single ``post_batch()`` kernel call
+  instead of n−1 independent ``send()``s.  Observer and ordering
+  semantics are bit-for-bit those of the send loop it replaces — see
+  :meth:`Network.broadcast`.
+* Observer dispatch iterates the hub's precomputed per-event callback
+  tuples — an empty tuple (no observer overrides that hook) costs one
+  truthiness check, exactly like the old lazy-trace guard.
 """
 
 from __future__ import annotations
@@ -93,6 +108,17 @@ class Network:
         Packet size used to convert modeled wire bytes into packet
         counts (see :mod:`repro.sim.packets`).  Only consulted when a
         packet observer is attached; the default run pays nothing.
+    link_rng:
+        Granularity of the link RNG streams.  ``"pair"`` (the default,
+        and the historical behaviour) derives one independent stream per
+        ordered pair — n² Mersenne states, which dominates setup cost
+        beyond n ≈ 512.  ``"src"`` derives one stream per *sender*,
+        consumed by all of that sender's out-links in deterministic
+        (ascending-dst) order: statistically each message still gets an
+        independent draw, but setup is n streams, which is what makes
+        the n=1024 sweeps affordable.  The two settings produce
+        different (each internally deterministic) delay sequences, so
+        changing it changes a run the way changing the seed does.
     """
 
     def __init__(
@@ -103,6 +129,7 @@ class Network:
         default_link: Callable[[], LinkPolicy] = TimelyLink,
         observers: Iterable[Observer] | None = None,
         mtu: int = DEFAULT_MTU,
+        link_rng: str = "pair",
     ) -> None:
         self.sim = sim
         self.hub = ObserverHub()
@@ -124,7 +151,11 @@ class Network:
         attach_captured(self.hub, self)
         if mtu <= 0:
             raise NetworkError("mtu must be positive")
+        if link_rng not in ("pair", "src"):
+            raise NetworkError(
+                f"link_rng must be 'pair' or 'src', got {link_rng!r}")
         self.mtu = mtu
+        self.link_rng = link_rng
         self._default_link = default_link
         self._processes: dict[int, "Process"] = {}
         self._links: dict[tuple[int, int], LinkPolicy] = {}
@@ -132,10 +163,12 @@ class Network:
         # Whether any process ever recovered: gates the per-delivery
         # stale-incarnation check so crash-stop runs never pay for it.
         self._any_recovered = False
-        # Hot-path caches; see the module docstring.
+        # Hot-path caches; see the module docstring.  The flat route
+        # table is rebuilt lazily after registrations (stride changes);
+        # None marks "not built yet".
         self._pid_tuple: tuple[int, ...] = ()
-        self._routes: dict[tuple[int, int],
-                           tuple[LinkPolicy, random.Random]] = {}
+        self._stride = 0
+        self._route_table: list[tuple[LinkPolicy, random.Random] | None] | None = None
 
     # ------------------------------------------------------------------
     # Observer accessors
@@ -174,11 +207,19 @@ class Network:
     # ------------------------------------------------------------------
 
     def register(self, process: "Process") -> None:
-        """Attach a process; its pid must be unique."""
-        if process.pid in self._processes:
-            raise NetworkError(f"duplicate pid {process.pid}")
-        self._processes[process.pid] = process
+        """Attach a process; its pid must be a unique nonnegative int.
+
+        (Nonnegative because pids index the flat per-pair arrays; the
+        tables are sized by the highest pid, so keep pids dense.)
+        """
+        pid = process.pid
+        if not isinstance(pid, int) or isinstance(pid, bool) or pid < 0:
+            raise NetworkError(f"pids must be nonnegative ints, got {pid!r}")
+        if pid in self._processes:
+            raise NetworkError(f"duplicate pid {pid}")
+        self._processes[pid] = process
         self._pid_tuple = tuple(sorted(self._processes))
+        self._route_table = None  # stride may change; rebuild lazily
 
     def process(self, pid: int) -> "Process":
         """The registered process with this pid."""
@@ -197,7 +238,7 @@ class Network:
         if src == dst:
             raise NetworkError("no self-links in the model")
         self._links[(src, dst)] = policy
-        self._routes.pop((src, dst), None)
+        self._clear_route(src, dst)
 
     def link(self, src: int, dst: int) -> LinkPolicy:
         """The policy for ``src -> dst`` (instantiating the default lazily)."""
@@ -207,6 +248,19 @@ class Network:
             self._links[(src, dst)] = policy
         return policy
 
+    def _route_table_now(self) -> list[tuple[LinkPolicy, random.Random] | None]:
+        """The flat route table, (re)building it if registrations changed."""
+        table = self._route_table
+        if table is None:
+            self._stride = (self._pid_tuple[-1] + 1) if self._pid_tuple else 0
+            table = self._route_table = [None] * (self._stride * self._stride)
+        return table
+
+    def _clear_route(self, src: int, dst: int) -> None:
+        table = self._route_table
+        if table is not None and src < self._stride and dst < self._stride:
+            table[src * self._stride + dst] = None
+
     def _route(self, src: int, dst: int) -> tuple[LinkPolicy, random.Random]:
         """Cached ``(policy, rng_stream)`` for the ordered pair.
 
@@ -214,13 +268,18 @@ class Network:
         sequence across cache invalidations, so caching it here changes
         nothing about determinism.
         """
-        key = (src, dst)
-        route = self._routes.get(key)
+        table = self._route_table_now()
+        index = src * self._stride + dst
+        route = table[index]
         if route is None:
-            route = (self.link(src, dst),
-                     self.sim.rng.stream("link", src, dst))
-            self._routes[key] = route
+            route = (self.link(src, dst), self._link_stream(src, dst))
+            table[index] = route
         return route
+
+    def _link_stream(self, src: int, dst: int) -> random.Random:
+        if self.link_rng == "pair":
+            return self.sim.rng.stream("link", src, dst)
+        return self.sim.rng.stream("linksrc", src)
 
     def perturb_link(self, src: int, dst: int, window: DegradedWindow) -> None:
         """Overlay a :class:`DegradedWindow` on the ``src -> dst`` policy.
@@ -239,7 +298,7 @@ class Network:
         if not isinstance(policy, PerturbedLink):
             policy = PerturbedLink(policy)
             self._links[(src, dst)] = policy
-            self._routes.pop((src, dst), None)
+            self._clear_route(src, dst)
         policy.add_window(window)
 
     # ------------------------------------------------------------------
@@ -345,11 +404,106 @@ class Network:
                        partial(deliver, src, dst, message, now, incarnation))
 
     def broadcast(self, src: int, message: Message) -> None:
-        """Send ``message`` from ``src`` to every other registered process."""
-        send = self.send
+        """Send ``message`` from ``src`` to every other registered process.
+
+        Semantically identical to calling :meth:`send` once per other
+        pid in ascending order — same observer callbacks (per
+        destination, in the same order), same RNG draws, same delivery
+        event ordering — but executed as one pass: partition membership
+        is resolved once, wire size is computed once, and all delivery
+        events are scheduled through a single
+        :meth:`~repro.sim.engine.Simulation.post_batch` call.  The only
+        observable difference is opt-in: observers overriding
+        :meth:`~repro.obs.Observer.on_send_batch` get one batched call
+        instead of n−1 ``on_send`` calls.
+        """
+        sender = self._processes.get(src)
+        if sender is None:
+            raise NetworkError(f"unknown pid {src}")
+        if sender.crashed:
+            # Delegate to send() for the first destination so the
+            # loud-failure path (drop record + NetworkError) is exactly
+            # the unbatched one.
+            for dst in self._pid_tuple:
+                if dst != src:
+                    self.send(src, dst, message)
+            return
+        now = self.sim.now
+        kind = message.kind
+        hub = self.hub
+        batch_cbs = hub.send_batch_cbs
+        if batch_cbs:
+            dsts = tuple(dst for dst in self._pid_tuple if dst != src)
+            for callback in batch_cbs:
+                callback(now, src, dsts, kind)
+        send_cbs = hub.send_only_cbs
+        packet_cbs = hub.packet_send_cbs
+        if packet_cbs:
+            size = message.wire_size()
+            packets = packet_count(size, self.mtu)
+        drop_cbs = hub.drop_cbs
+        # Resolve the partition picture once for the whole fan-out:
+        # src's group in each active partition (None = src is outside
+        # every group, severed from everyone).
+        src_groups: list[frozenset[int]] | None = None
+        if self._partitions:
+            src_groups = []
+            for start, end, groups in self._partitions:
+                if start <= now < end:
+                    for group in groups:
+                        if src in group:
+                            src_groups.append(group)
+                            break
+                    else:
+                        src_groups.append(frozenset())
+        table = self._route_table_now()
+        stride = self._stride
+        base = src * stride
+        default_plan_all = LinkPolicy.plan_all
+        deliver = self._deliver
+        incarnation = sender.incarnation
+        items: list[tuple[float, partial]] = []
+        append = items.append
         for dst in self._pid_tuple:
-            if dst != src:
-                send(src, dst, message)
+            if dst == src:
+                continue
+            if send_cbs:
+                for callback in send_cbs:
+                    callback(now, src, dst, kind)
+            if packet_cbs:
+                for callback in packet_cbs:
+                    callback(now, src, dst, kind, size, packets)
+            if src_groups is not None and any(
+                    dst not in group for group in src_groups):
+                for callback in drop_cbs:
+                    callback(now, src, dst, kind, "partition")
+                continue
+            route = table[base + dst]
+            if route is None:
+                route = (self.link(src, dst), self._link_stream(src, dst))
+                table[base + dst] = route
+            policy, rng = route
+            if type(policy).plan_all is default_plan_all:
+                # One-copy link: skip plan_all's list round trip.
+                delay = policy.plan(message, now, rng)
+                if delay is None:
+                    for callback in drop_cbs:
+                        callback(now, src, dst, kind, "link")
+                    continue
+                append((now + delay,
+                        partial(deliver, src, dst, message, now, incarnation)))
+            else:
+                delays = policy.plan_all(message, now, rng)
+                if not delays:
+                    for callback in drop_cbs:
+                        callback(now, src, dst, kind, "link")
+                    continue
+                for delay in delays:
+                    append((now + delay,
+                            partial(deliver, src, dst, message, now,
+                                    incarnation)))
+        if items:
+            self.sim.post_batch(items)
 
     def _deliver(self, src: int, dst: int, message: Message, sent_at: float,
                  sent_incarnation: int = 0) -> None:

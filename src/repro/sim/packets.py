@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import fields
 
 __all__ = ["DEFAULT_MTU", "int_size", "field_size", "wire_size",
+           "broadcast_cost",
            "packet_count"]
 
 # Packets of up to this many bytes cross a link as one unit.  Small on
@@ -68,7 +69,14 @@ def field_size(value: object) -> int:
 
 
 def wire_size(message: object) -> int:
-    """Modeled bytes of ``message``: 1-byte kind tag + its dataclass fields."""
+    """Modeled bytes of ``message``: 1-byte kind tag + its dataclass fields.
+
+    Walks the dataclass fields on every call, so hot paths should call
+    it once per *message*, not once per copy — the network's batched
+    ``broadcast`` computes the size a single time and reuses it for all
+    n−1 per-destination packet callbacks (a broadcast sends the same
+    bytes to everyone; see :func:`broadcast_cost`).
+    """
     return 1 + sum(field_size(getattr(message, spec.name))
                    for spec in fields(message))
 
@@ -80,3 +88,17 @@ def packet_count(size: int, mtu: int = DEFAULT_MTU) -> int:
     if size <= 0:
         return 1
     return -(-size // mtu)
+
+
+def broadcast_cost(message: object, fanout: int,
+                   mtu: int = DEFAULT_MTU) -> tuple[int, int]:
+    """Total ``(bytes, packets)`` of one broadcast to ``fanout`` receivers.
+
+    Sizes the message once and multiplies — the unicast model has no
+    shared medium, so a fan-out costs exactly ``fanout`` independent
+    copies.
+    """
+    if fanout < 0:
+        raise ValueError("fanout must be nonnegative")
+    size = wire_size(message)
+    return size * fanout, packet_count(size, mtu) * fanout

@@ -29,10 +29,18 @@ class TestSuiteConstruction:
         with pytest.raises(ValueError, match="unknown experiments"):
             bench.default_suite(seed=7, experiments=("e1", "e9"))
 
-    def test_full_adds_the_n128_census(self) -> None:
+    def test_full_adds_the_large_n_rows(self) -> None:
         base = {c.case_id for c in bench.default_suite(seed=7)}
         full = {c.case_id for c in bench.default_suite(seed=7, full=True)}
-        assert full - base == {"e3/comm-efficient/n=128"}
+        assert full - base == {"e3/comm-efficient/n=128",
+                               "e18/comm-efficient/n=512",
+                               "e18/comm-efficient/n=1024"}
+
+    def test_default_suite_has_the_e18_census(self) -> None:
+        base = {c.case_id for c in bench.default_suite(seed=7)}
+        assert "e18/comm-efficient/n=256" in base
+        quick = {c.case_id for c in bench.default_suite(seed=7, quick=True)}
+        assert not any(c.startswith("e18/") for c in quick)
 
     def test_seed_travels_with_each_case(self) -> None:
         for case in bench.default_suite(seed=13):
@@ -133,6 +141,84 @@ class TestReportSchema:
         assert summary["cases"] == len(report["cases"])
         assert summary["ok"] + summary["failed"] == summary["cases"]
         assert summary["events"] == sum(c["events"] for c in report["cases"])
+
+
+class TestCompareReports:
+    @pytest.fixture(scope="class")
+    def report(self) -> dict:
+        results = bench.run_suite(QUICK_E1[:2], jobs=1)
+        return bench.build_report(results, seed=7, jobs=1, suite="quick",
+                                  wall_s=0.5)
+
+    def test_identical_reports_show_no_drift(self, report: dict) -> None:
+        diff = bench.compare_reports(report, report)
+        assert diff["ok"]
+        assert diff["changed"] == []
+        assert diff["added"] == diff["removed"] == []
+        assert len(diff["throughput"]) == len(report["cases"])
+        assert all(row["ratio"] == pytest.approx(1.0)
+                   for row in diff["throughput"])
+
+    def test_deterministic_drift_is_flagged(self, report: dict) -> None:
+        import copy
+        new = copy.deepcopy(report)
+        new["cases"][0]["events"] += 1
+        diff = bench.compare_reports(report, new)
+        assert not diff["ok"]
+        assert diff["changed"] == [new["cases"][0]["case_id"]]
+
+    def test_suite_shape_changes_are_not_drift(self, report: dict) -> None:
+        import copy
+        new = copy.deepcopy(report)
+        dropped = new["cases"].pop()
+        diff = bench.compare_reports(report, new)
+        assert diff["ok"]
+        assert diff["removed"] == [dropped["case_id"]]
+        reverse = bench.compare_reports(new, report)
+        assert reverse["added"] == [dropped["case_id"]]
+
+
+class TestCliFilterAndCompare:
+    ARGV = ["bench", "--quick", "--jobs", "1",
+            "--experiments", "e1", "--seed", "7"]
+
+    def test_filter_narrows_the_suite(self, tmp_path) -> None:
+        out = tmp_path / "filtered.json"
+        code = main(["bench", "--quick", "--jobs", "1",
+                     "--filter", "e1/*", "--out", str(out)])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["cases"]
+        assert all(case["case_id"].startswith("e1/")
+                   for case in report["cases"])
+
+    def test_filter_with_no_match_is_an_error(self) -> None:
+        with pytest.raises(SystemExit, match="matches no case"):
+            main(["bench", "--quick", "--no-out", "--filter", "zzz/*"])
+
+    def test_compare_identical_run_exits_zero(self, tmp_path,
+                                              capsys) -> None:
+        out = tmp_path / "old.json"
+        assert main([*self.ARGV, "--out", str(out)]) == 0
+        code = main([*self.ARGV, "--no-out", "--compare", str(out)])
+        assert code == 0
+        assert "deterministic results identical" in capsys.readouterr().out
+
+    def test_compare_flags_deterministic_drift(self, tmp_path,
+                                               capsys) -> None:
+        out = tmp_path / "old.json"
+        assert main([*self.ARGV, "--out", str(out)]) == 0
+        old = json.loads(out.read_text())
+        old["cases"][0]["events"] += 1
+        out.write_text(json.dumps(old))
+        code = main([*self.ARGV, "--no-out", "--compare", str(out)])
+        assert code == 1
+        assert "CHANGED" in capsys.readouterr().out
+
+    def test_compare_unreadable_file_is_an_error(self, tmp_path) -> None:
+        with pytest.raises(SystemExit, match="cannot read"):
+            main([*self.ARGV, "--no-out",
+                  "--compare", str(tmp_path / "missing.json")])
 
 
 class TestCli:

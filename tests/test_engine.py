@@ -244,3 +244,123 @@ class TestDeterminism:
             return log
 
         assert run() == run()
+
+
+class TestCompactThreshold:
+    @pytest.mark.parametrize("threshold", [8, 64])
+    def test_timer_churn_bounds_heap_size(self, threshold: int) -> None:
+        """Constantly-reset timers must not grow the heap without bound.
+
+        The sentinel timer keeps the tombstones off the heap top (where
+        the run loop would discard them for free), so only the
+        compaction sweep can reclaim them — the case the threshold
+        policy exists for.
+        """
+        sim = Simulation(seed=0, compact_threshold=threshold)
+        sentinel = sim.call_after(500.0, lambda: None)
+        handle = sim.call_after(600.0, lambda: None)
+        peak = 0
+
+        def churn() -> None:
+            nonlocal handle, peak
+            handle.cancel()
+            handle = sim.call_after(600.0, lambda: None)
+            peak = max(peak, len(sim._heap))
+            if sim.now < 50.0:
+                sim.post_after(0.01, churn)
+
+        sim.post_after(0.01, churn)
+        sim.run_until(60.0)
+        # ~5000 cancels happened; the live heap holds two timers.  The
+        # compaction policy keeps the heap within a small multiple of
+        # the threshold rather than letting tombstones accumulate.
+        assert sim.pending() == 2
+        assert not sentinel.cancelled
+        assert peak <= 4 * threshold + 8
+        assert sim.profile()["compactions"] > 0
+
+    def test_lower_threshold_compacts_more_eagerly(self) -> None:
+        def compactions(threshold: int) -> int:
+            sim = Simulation(seed=0, compact_threshold=threshold)
+            for _ in range(512):
+                sim.call_after(10.0, lambda: None).cancel()
+            return sim.profile()["compactions"]
+
+        assert compactions(8) > compactions(64)
+
+    def test_threshold_must_be_positive(self) -> None:
+        with pytest.raises(SimulationError):
+            Simulation(compact_threshold=0)
+
+    def test_bucket_width_must_be_power_of_two(self) -> None:
+        with pytest.raises(SimulationError):
+            Simulation(bucket_width=0.1)
+        Simulation(bucket_width=0.25)  # fine
+
+
+class TestBatchPaths:
+    def test_post_batch_matches_sequential_posts(self) -> None:
+        def run(batched: bool) -> list[tuple[float, str]]:
+            sim = Simulation(seed=0)
+            log: list[tuple[float, str]] = []
+            items = [(0.5, lambda: log.append((sim.now, "a"))),
+                     (0.25, lambda: log.append((sim.now, "b"))),
+                     (0.5, lambda: log.append((sim.now, "c")))]
+            if batched:
+                sim.post_batch(items)
+            else:
+                for time, action in items:
+                    sim.post_at(time, action)
+            sim.run_until(1.0)
+            return log
+
+        assert run(True) == run(False) == [(0.25, "b"), (0.5, "a"), (0.5, "c")]
+
+    def test_post_batch_rejects_past_times(self, sim: Simulation) -> None:
+        sim.post_at(1.0, lambda: None)
+        sim.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sim.post_batch([(2.0, lambda: None)])
+
+    def test_post_at_far_future_and_infinity(self, sim: Simulation) -> None:
+        fired: list[float] = []
+        sim.post_at(float("inf"), lambda: fired.append(sim.now))
+        sim.post_at(2.0**61, lambda: fired.append(sim.now))
+        sim.post_at(1.0, lambda: fired.append(sim.now))
+        sim.run_until(10.0)
+        assert fired == [1.0]
+        assert sim.pending() == 2
+
+    def test_run_batch_drains_one_window(self, sim: Simulation) -> None:
+        log: list[str] = []
+        sim.post_at(0.01, lambda: log.append("w0-a"))
+        sim.post_at(0.05, lambda: log.append("w0-b"))
+        sim.post_at(0.0625, lambda: log.append("w1"))  # next window
+        assert sim.run_batch() == 2
+        assert log == ["w0-a", "w0-b"]
+        assert sim.now == 0.05  # clock sits on the last executed event
+        assert sim.run_batch() == 1
+        assert log == ["w0-a", "w0-b", "w1"]
+        assert sim.run_batch() == 0
+
+    def test_run_batch_respects_deadline(self, sim: Simulation) -> None:
+        log: list[str] = []
+        sim.post_at(0.01, lambda: log.append("a"))
+        sim.post_at(0.05, lambda: log.append("b"))
+        assert sim.run_batch(deadline=0.02) == 1
+        assert log == ["a"]
+
+    def test_late_posts_into_open_window_still_order(self) -> None:
+        # An event that posts into its own (already sorted) window must
+        # merge through the overflow heap without losing order.
+        sim = Simulation(seed=0)
+        log: list[tuple[float, str]] = []
+
+        def first() -> None:
+            log.append((sim.now, "first"))
+            sim.post_at(sim.now + 0.01, lambda: log.append((sim.now, "late")))
+
+        sim.post_at(0.01, first)
+        sim.post_at(0.03, lambda: log.append((sim.now, "second")))
+        sim.run_until(1.0)
+        assert log == [(0.01, "first"), (0.02, "late"), (0.03, "second")]
