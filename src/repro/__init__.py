@@ -34,6 +34,12 @@ The library has four layers:
     per-link :class:`TimelinessInspector`, and the versioned
     :class:`RunReport` behind ``python -m repro report``.
 
+:mod:`repro.live`
+    The live backend: the same protocol classes on asyncio UDP across
+    real OS processes, behind the :class:`Clock`/:class:`Transport`
+    seam of :mod:`repro.transport` (``python -m repro live``;
+    ``docs/TRANSPORT.md`` spells out the contract).
+
 See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 claim-by-claim validation results, and docs/OBSERVABILITY.md for the
 observer protocol and report schema.
@@ -78,6 +84,12 @@ from repro.obs import (  # noqa: E402
     capture,
     scenario_report,
     validate_report,
+)
+from repro.transport import (  # noqa: E402
+    Clock,
+    TimerHandle,
+    Transport,
+    TransportError,
 )
 from repro.sim import (  # noqa: E402
     Cluster,
@@ -124,6 +136,10 @@ __all__ = [
     "capture",
     "scenario_report",
     "validate_report",
+    "Clock",
+    "TimerHandle",
+    "Transport",
+    "TransportError",
     "Cluster",
     "CrashPlan",
     "FaultPlan",

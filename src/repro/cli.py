@@ -21,6 +21,9 @@ Examples
     python -m repro report scenario --algorithm comm-efficient --n 6
     python -m repro report bench --case-id e2/comm-efficient/n=8
     python -m repro report soak --seed 7 --case 12 --out report.json
+    python -m repro live run --n 3 --horizon 3 --consensus
+    python -m repro live crossval --n 3 --horizon 3
+    python -m repro live serve --port 8642
 
 Every command prints human-readable tables (the same renderer the
 benchmarks use) and exits non-zero if the run violated the property it
@@ -528,6 +531,90 @@ def cmd_qos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_live_run(args: argparse.Namespace) -> int:
+    import json
+    import tempfile
+
+    from repro.live import LiveCluster, LiveClusterSpec
+    from repro.obs import render_report_text, validate_report
+
+    try:
+        spec = LiveClusterSpec(
+            n=args.n, algorithm=args.algorithm, eta=args.eta,
+            initial_timeout=args.initial_timeout, horizon=args.horizon,
+            seed=args.seed, consensus=args.consensus, faults=args.faults)
+    except ValueError as error:
+        raise SystemExit(str(error))
+    rundir = args.rundir or tempfile.mkdtemp(prefix="repro-live-")
+    outcome = LiveCluster(spec, rundir).run()
+    document = outcome.document
+    print(render_report_text(document))
+    print(f"\nnode logs and reports in {rundir}")
+    problems = validate_report(document)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.out}")
+    if problems:
+        print("\nschema problems:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    return 0 if outcome.verdict.ok else 1
+
+
+def cmd_live_node(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.live.node import NodeSpec, run_node
+
+    with open(args.spec) as handle:
+        run_node(NodeSpec.from_json(json.load(handle)))
+    return 0
+
+
+def cmd_live_crossval(args: argparse.Namespace) -> int:
+    import json
+    import tempfile
+
+    from repro.live import cross_validate
+
+    rundir = args.rundir or tempfile.mkdtemp(prefix="repro-crossval-")
+    result = cross_validate(
+        rundir, algorithm=args.algorithm, n=args.n, seed=args.seed,
+        horizon=args.horizon, eta=args.eta,
+        initial_timeout=args.initial_timeout, consensus=args.consensus,
+        faults=args.faults)
+    print(json.dumps(result.to_json(), indent=2))
+    if result.matches:
+        print(f"\nbackends agree (sim and live both "
+              f"{'pass' if result.live_verdict.ok else 'fail'})")
+        return 0
+    print("\nbackends disagree:")
+    for mismatch in result.mismatches:
+        print(f"  {mismatch}")
+    return 1
+
+
+def cmd_live_serve(args: argparse.Namespace) -> int:
+    from repro.live.control import serve
+
+    server = serve(args.host, args.port)
+    host, port = server.server_address[:2]
+    print(f"live control plane on http://{host}:{port}")
+    print("  POST /clusters            {\"n\": 3, \"horizon\": 3.0, ...}")
+    print("  GET  /clusters/<id>       status")
+    print("  POST /clusters/<id>/faults  crash/pause/resume/degrade")
+    print("  GET  /clusters/<id>/report  merged repro-report/v1")
+    print("  DELETE /clusters/<id>     kill and forget")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def cmd_algorithms(args: argparse.Namespace) -> int:
     rows = [[name, cls.__name__, (cls.__doc__ or "").strip().splitlines()[0]]
             for name, cls in OMEGA_ALGORITHMS.items()]
@@ -717,6 +804,59 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sample from the hostile-link campaign")
     rsoak.add_argument("--out", default="", help="also write JSON here")
     rsoak.set_defaults(handler=cmd_report)
+
+    live = sub.add_parser(
+        "live", help="asyncio/UDP transport backend: real-process "
+                     "clusters, cross-validation, control plane")
+    live_sub = live.add_subparsers(dest="live_command", required=True)
+
+    def _live_scenario_args(command: argparse.ArgumentParser) -> None:
+        command.add_argument("--n", type=int, default=3)
+        command.add_argument("--algorithm", default="comm-efficient",
+                             choices=sorted(OMEGA_ALGORITHMS))
+        command.add_argument("--eta", type=float, default=0.1,
+                             help="heartbeat period in wall seconds")
+        command.add_argument("--initial-timeout", type=float, default=0.5)
+        command.add_argument("--horizon", type=float, default=3.0,
+                             help="wall seconds each node runs")
+        command.add_argument("--seed", type=int, default=0)
+        command.add_argument("--consensus", action="store_true",
+                             help="also run single-decree consensus on a "
+                                  "second plane")
+        command.add_argument("--faults", default="", metavar="PLAN",
+                             help="nemesis FaultPlan repro string mapped "
+                                  "onto real processes, e.g. "
+                                  "'crash(t=1.0,pid=2,recover=2.0)'")
+        command.add_argument("--rundir", default="",
+                             help="directory for node specs/logs/reports "
+                                  "(default: a fresh temp dir)")
+
+    lrun = live_sub.add_parser(
+        "run", help="spawn a node per pid on loopback UDP, run to the "
+                    "horizon, merge and judge the reports")
+    _live_scenario_args(lrun)
+    lrun.add_argument("--out", default="", help="also write JSON here")
+    lrun.set_defaults(handler=cmd_live_run)
+
+    lnode = live_sub.add_parser(
+        "node", help="one node of a live cluster (spawned by 'live run'; "
+                     "rarely typed by hand)")
+    lnode.add_argument("--spec", required=True, metavar="NODE.json",
+                       help="NodeSpec JSON written by the cluster harness")
+    lnode.set_defaults(handler=cmd_live_node)
+
+    lxval = live_sub.add_parser(
+        "crossval", help="run the same scenario in-sim and live; diff "
+                         "the judged outcomes")
+    _live_scenario_args(lxval)
+    lxval.set_defaults(handler=cmd_live_crossval)
+
+    lserve = live_sub.add_parser(
+        "serve", help="REST control plane for spawning clusters and "
+                      "injecting faults (stdlib http.server)")
+    lserve.add_argument("--host", default="127.0.0.1")
+    lserve.add_argument("--port", type=int, default=8642)
+    lserve.set_defaults(handler=cmd_live_serve)
 
     qos = sub.add_parser("qos", help="failure-detector QoS per algorithm")
     qos.add_argument("--n", type=int, default=6)

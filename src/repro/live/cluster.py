@@ -1,0 +1,352 @@
+"""Spawn and drive a live cluster of node subprocesses.
+
+:class:`LiveCluster` is the live analogue of the sim harness: it
+allocates loopback ports, writes one :class:`~repro.live.node.NodeSpec`
+per pid, spawns ``python -m repro live node`` subprocesses, executes a
+nemesis :class:`~repro.sim.nemesis.FaultPlan` against them in **wall
+time**, then collects the node reports and merges them into one
+schema-valid ``repro-report/v1`` document judged by the standard
+checkers.
+
+Fault mapping (the live meaning of each nemesis event):
+
+=================  ====================================================
+``crash``          SIGKILL the node (it writes no report — crash-stop);
+                   with ``recover=``, respawn it later with
+                   ``incarnation + 1`` and the remaining horizon.
+``recover``        Respawn a killed node (fresh OS process, same ports).
+``pause``          SIGSTOP, then SIGCONT after the duration — a real
+                   scheduler freeze instead of a simulated one.
+``degrade``        A control-channel ``degrade`` op to each node
+                   hosting a source pid of the window's pairs: extra
+                   loss/delay on its outbound frames.
+``dup``            Same, with a duplication probability.
+``flap``           Approximated as a loss window of ``1 - up`` for the
+                   window (the sim's square-wave up/down cycling has no
+                   socket-level equivalent here).
+``partition``      Loss-1.0 windows on every cross-group ordered pair.
+=================  ====================================================
+
+Wall-time caveat: fault times are offsets from cluster start, but nodes
+boot one spawn-stagger apart and their clocks are per-node; live fault
+timing is approximate where sim timing is exact.  Verdicts never
+depend on exact fault instants, only on disturbances healing with calm
+left before the horizon — same rule as the sim's model envelope.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.core.checker import OmegaRunReport
+from repro.live.node import NodeSpec
+from repro.live.report import (
+    analyze_live_run,
+    consensus_verdict,
+    merged_live_report,
+)
+from repro.obs.verdict import Verdict
+from repro.sim.nemesis import (
+    CrashFault,
+    DegradeFault,
+    DuplicateFault,
+    FaultPlan,
+    FlapFault,
+    PartitionFault,
+    PauseFault,
+    RecoverFault,
+)
+
+__all__ = ["LiveClusterSpec", "LiveCluster", "LiveRunOutcome"]
+
+#: Wall seconds granted past the horizon for nodes to flush reports.
+_GRACE = 5.0
+
+
+def _free_port(host: str, kind: int) -> int:
+    """One currently free port (racy by nature; fine on loopback)."""
+    with socket.socket(socket.AF_INET, kind) as probe:
+        probe.bind((host, 0))
+        return probe.getsockname()[1]
+
+
+@dataclass(frozen=True)
+class LiveClusterSpec:
+    """Parameters of one live run (the live mirror of a sim scenario)."""
+
+    n: int
+    algorithm: str = "comm-efficient"
+    eta: float = 0.1
+    initial_timeout: float = 0.5
+    horizon: float = 3.0
+    seed: int = 0
+    consensus: bool = False
+    proposals: dict[int, Any] | None = None
+    faults: str = ""
+    tick: float = 0.25
+    host: str = "127.0.0.1"
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError("a live cluster needs n >= 2")
+        if self.horizon <= 0:
+            raise ValueError("horizon must be positive")
+
+    def proposal_of(self, pid: int) -> Any:
+        """The value ``pid`` proposes when consensus is on."""
+        if self.proposals is not None:
+            return self.proposals[pid]
+        return f"value-{pid}"
+
+
+@dataclass
+class LiveRunOutcome:
+    """Everything :meth:`LiveCluster.run` learned from one live run."""
+
+    node_reports: list[dict[str, Any]]
+    omega: OmegaRunReport
+    verdict: Verdict
+    document: dict[str, Any]
+    rundir: Path
+
+
+class LiveCluster:
+    """Owner of one live run: ports, subprocesses, faults, reports."""
+
+    def __init__(self, spec: LiveClusterSpec, rundir: str | Path) -> None:
+        self.spec = spec
+        self.rundir = Path(rundir)
+        self.rundir.mkdir(parents=True, exist_ok=True)
+        self.plan = (FaultPlan.from_repro(spec.faults) if spec.faults
+                     else FaultPlan())
+        host = spec.host
+        self.endpoints = {pid: (host, _free_port(host, socket.SOCK_DGRAM))
+                          for pid in range(spec.n)}
+        self.ag_endpoints = ({pid: (host, _free_port(host,
+                                                     socket.SOCK_DGRAM))
+                              for pid in range(spec.n)}
+                             if spec.consensus else {})
+        self.control_ports = {pid: _free_port("127.0.0.1",
+                                              socket.SOCK_STREAM)
+                              for pid in range(spec.n)}
+        self._procs: dict[int, subprocess.Popen] = {}
+        self._incarnations = {pid: 0 for pid in range(spec.n)}
+
+    # ------------------------------------------------------------------
+    # Node lifecycle
+    # ------------------------------------------------------------------
+
+    def _node_spec(self, pid: int, horizon: float,
+                   incarnation: int) -> NodeSpec:
+        spec = self.spec
+        return NodeSpec(
+            pid=pid, n=spec.n, endpoints=self.endpoints,
+            control_port=self.control_ports[pid],
+            report_path=str(self.rundir / f"node{pid}.json"),
+            algorithm=spec.algorithm, eta=spec.eta,
+            initial_timeout=spec.initial_timeout, horizon=horizon,
+            seed=spec.seed, incarnation=incarnation,
+            consensus=spec.consensus,
+            proposal=(spec.proposal_of(pid) if spec.consensus else None),
+            tick=spec.tick, ag_endpoints=self.ag_endpoints)
+
+    def _spawn(self, pid: int, horizon: float, incarnation: int) -> None:
+        node_spec = self._node_spec(pid, horizon, incarnation)
+        spec_path = self.rundir / f"node{pid}.spec.json"
+        spec_path.write_text(json.dumps(node_spec.to_json()))
+        src_root = Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(src_root)] + ([env["PYTHONPATH"]]
+                               if env.get("PYTHONPATH") else []))
+        log = open(self.rundir / f"node{pid}.log", "a")
+        self._procs[pid] = subprocess.Popen(
+            [sys.executable, "-m", "repro", "live", "node",
+             "--spec", str(spec_path)],
+            env=env, stdout=log, stderr=subprocess.STDOUT)
+        log.close()
+        self._incarnations[pid] = incarnation
+
+    def control(self, pid: int, request: dict[str, Any],
+                timeout: float = 2.0) -> dict[str, Any]:
+        """One request/response round on a node's control channel."""
+        with socket.create_connection(
+                ("127.0.0.1", self.control_ports[pid]),
+                timeout=timeout) as conn:
+            conn.sendall(json.dumps(request).encode() + b"\n")
+            conn.settimeout(timeout)
+            data = b""
+            while not data.endswith(b"\n"):
+                chunk = conn.recv(4096)
+                if not chunk:
+                    break
+                data += chunk
+        return json.loads(data)
+
+    # ------------------------------------------------------------------
+    # Fault plan → wall-clock actions
+    # ------------------------------------------------------------------
+
+    def _degrade_action(self, pairs: tuple[tuple[int, int], ...],
+                        duration: float, loss: float = 0.0,
+                        extra_delay: float = 0.0,
+                        duplicate: float = 0.0) -> Callable[[], None]:
+        sources = sorted({src for src, _dst in pairs})
+
+        def act() -> None:
+            for src in sources:
+                src_pairs = [[s, d] for s, d in pairs if s == src]
+                try:
+                    self.control(src, {
+                        "op": "degrade", "plane": "both",
+                        "duration": duration, "pairs": src_pairs,
+                        "loss": loss, "extra_delay": extra_delay,
+                        "duplicate": duplicate})
+                except OSError:
+                    pass  # the source node is down; nothing to degrade
+        return act
+
+    def _wall_actions(self) -> list[tuple[float, Callable[[], None]]]:
+        """The plan as ``(offset_seconds, action)`` pairs, time-ordered."""
+        spec = self.spec
+        actions: list[tuple[float, Callable[[], None]]] = []
+
+        def kill(pid: int) -> Callable[[], None]:
+            def act() -> None:
+                proc = self._procs.get(pid)
+                if proc is not None and proc.poll() is None:
+                    proc.kill()
+            return act
+
+        def respawn(pid: int, at: float) -> Callable[[], None]:
+            def act() -> None:
+                self._procs[pid].wait(timeout=_GRACE)
+                self._spawn(pid, max(0.5, spec.horizon - at),
+                            self._incarnations[pid] + 1)
+            return act
+
+        def sig(pid: int, signum: int) -> Callable[[], None]:
+            def act() -> None:
+                proc = self._procs.get(pid)
+                if proc is not None and proc.poll() is None:
+                    proc.send_signal(signum)
+            return act
+
+        for event in self.plan:
+            if isinstance(event, CrashFault):
+                actions.append((event.time, kill(event.pid)))
+                if event.recover_at is not None:
+                    actions.append((event.recover_at,
+                                    respawn(event.pid, event.recover_at)))
+            elif isinstance(event, RecoverFault):
+                actions.append((event.time, respawn(event.pid, event.time)))
+            elif isinstance(event, PauseFault):
+                actions.append((event.time, sig(event.pid, signal.SIGSTOP)))
+                actions.append((event.time + event.duration,
+                                sig(event.pid, signal.SIGCONT)))
+            elif isinstance(event, DegradeFault):
+                actions.append((event.start, self._degrade_action(
+                    event.pairs, event.end - event.start,
+                    loss=event.loss, extra_delay=event.delay)))
+            elif isinstance(event, DuplicateFault):
+                actions.append((event.start, self._degrade_action(
+                    event.pairs, event.end - event.start,
+                    duplicate=event.p)))
+            elif isinstance(event, FlapFault):
+                actions.append((event.start, self._degrade_action(
+                    event.pairs, event.end - event.start,
+                    loss=1.0 - event.up)))
+            elif isinstance(event, PartitionFault):
+                pairs = tuple(
+                    (src, dst)
+                    for group in event.groups for src in group
+                    for other in event.groups if other is not group
+                    for dst in other)
+                actions.append((event.start, self._degrade_action(
+                    pairs, event.end - event.start, loss=1.0)))
+        actions.sort(key=lambda pair: pair[0])
+        return actions
+
+    # ------------------------------------------------------------------
+    # The run
+    # ------------------------------------------------------------------
+
+    def run(self) -> LiveRunOutcome:
+        """Spawn, fault, wait, collect, judge.  Blocking."""
+        spec = self.spec
+        started = time.monotonic()
+        for pid in range(spec.n):
+            self._spawn(pid, spec.horizon, incarnation=0)
+        for offset, action in self._wall_actions():
+            delay = offset - (time.monotonic() - started)
+            if delay > 0:
+                time.sleep(delay)
+            action()
+        remaining = spec.horizon - (time.monotonic() - started)
+        if remaining > 0:
+            time.sleep(remaining)
+        self._shutdown()
+        node_reports = self._collect()
+        wall = time.monotonic() - started
+        return self._judge(node_reports, wall)
+
+    def _shutdown(self) -> None:
+        deadline = time.monotonic() + _GRACE
+        for proc in self._procs.values():
+            if proc.poll() is None:
+                try:
+                    proc.wait(timeout=max(0.1, deadline - time.monotonic()))
+                except subprocess.TimeoutExpired:
+                    proc.terminate()
+        for proc in self._procs.values():
+            if proc.poll() is None:
+                try:
+                    proc.wait(timeout=_GRACE)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+
+    def _collect(self) -> list[dict[str, Any]]:
+        reports = []
+        for pid in range(self.spec.n):
+            path = self.rundir / f"node{pid}.json"
+            if path.exists():
+                reports.append(json.loads(path.read_text()))
+        return reports
+
+    def _judge(self, node_reports: list[dict[str, Any]],
+               wall: float) -> LiveRunOutcome:
+        spec = self.spec
+        omega = analyze_live_run(node_reports)
+        verdict = omega.verdict()
+        if spec.consensus:
+            proposals = {pid: spec.proposal_of(pid)
+                         for pid in range(spec.n)}
+            verdict = verdict.merge(
+                consensus_verdict(node_reports, proposals))
+        if not node_reports:
+            verdict = verdict.merge(Verdict.failed(
+                "no node wrote a report; every process died before "
+                "its horizon"))
+        target = (f"live/{spec.algorithm} n={spec.n} "
+                  f"horizon={spec.horizon:g} seed={spec.seed}")
+        params = {
+            "algorithm": spec.algorithm, "n": spec.n, "eta": spec.eta,
+            "initial_timeout": spec.initial_timeout,
+            "horizon": spec.horizon, "seed": spec.seed,
+            "consensus": spec.consensus, "faults": spec.faults,
+        }
+        document = merged_live_report(node_reports, target, params,
+                                      verdict, spec.horizon, wall_s=wall)
+        return LiveRunOutcome(node_reports=node_reports, omega=omega,
+                              verdict=verdict, document=document,
+                              rundir=self.rundir)

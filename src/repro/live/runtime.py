@@ -1,0 +1,104 @@
+"""The live clock: :class:`~repro.transport.Clock` on an asyncio loop.
+
+Where the simulation owns virtual time and advances it by executing
+events, the live runtime *reads* time from the event loop's monotonic
+clock and schedules timers through ``loop.call_later``.  Times are
+seconds since the clock was constructed (the node's boot), so a live
+``now`` looks exactly like a sim ``now``: starts near 0, never goes
+backwards, and protocol timeouts written in seconds mean wall seconds.
+
+What the live clock does **not** give:
+
+* determinism — two live runs of the same scenario differ in exact
+  timings (the cross-validation harness compares *verdicts*, not
+  schedules);
+* ``run_until``/``run_for`` — the loop runs itself; harness code awaits
+  :func:`asyncio.sleep` instead;
+* ordering precision — asyncio timers fire "no earlier than", with OS
+  scheduling jitter on top.  Protocol correctness here never depends on
+  exact firing order, only on timeouts being comfortably larger than
+  real message delays (the same η ≫ link-delay requirement the paper's
+  systems state).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable
+
+__all__ = ["LiveClock"]
+
+
+class LiveClock:
+    """Monotonic clock + timers on an :class:`asyncio` event loop.
+
+    Implements the :class:`repro.transport.Clock` protocol.  ``now`` is
+    ``loop.time()`` minus the construction instant, so it is comparable
+    across the clock's lifetime but **not** across OS processes — each
+    node of a live cluster has its own epoch (they boot within a spawn
+    stagger of each other; report mergers treat cross-node times as
+    approximately aligned).
+
+    ``events_executed`` counts fired callbacks, mirroring the kernel
+    counter reports read from a :class:`~repro.sim.engine.Simulation`.
+    """
+
+    def __init__(self, loop: asyncio.AbstractEventLoop | None = None) -> None:
+        self._loop = loop if loop is not None else asyncio.get_running_loop()
+        self._epoch = self._loop.time()
+        self.events_executed = 0
+        self._timers_scheduled = 0
+        self._timers_cancelled = 0
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        """The event loop this clock schedules on."""
+        return self._loop
+
+    @property
+    def now(self) -> float:
+        """Seconds since the clock was constructed (monotonic)."""
+        return self._loop.time() - self._epoch
+
+    # ------------------------------------------------------------------
+    # Clock protocol
+    # ------------------------------------------------------------------
+
+    def call_after(self, delay: float,
+                   action: Callable[[], None]) -> asyncio.TimerHandle:
+        """Run ``action`` no earlier than ``delay`` seconds from now.
+
+        Returns the :class:`asyncio.TimerHandle`, whose idempotent
+        ``cancel()`` satisfies :class:`repro.transport.TimerHandle`.
+        """
+        self._timers_scheduled += 1
+
+        def fire() -> None:
+            self.events_executed += 1
+            action()
+
+        return self._loop.call_later(max(0.0, delay), fire)
+
+    def call_at(self, time: float,
+                action: Callable[[], None]) -> asyncio.TimerHandle:
+        """Run ``action`` at the absolute clock time ``time``."""
+        return self.call_after(time - self.now, action)
+
+    def post_after(self, delay: float, action: Callable[[], None]) -> None:
+        """Handle-free :meth:`call_after` (fire-and-forget deliveries)."""
+        self.call_after(delay, action)
+
+    def post_at(self, time: float, action: Callable[[], None]) -> None:
+        """Handle-free :meth:`call_at`."""
+        self.call_at(time, action)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def profile(self) -> dict[str, int]:
+        """Counters for the report's ``sim.profile`` block."""
+        return {
+            "timers_scheduled": self._timers_scheduled,
+            "callbacks_fired": self.events_executed,
+        }

@@ -46,6 +46,21 @@ the crash-stop model.
 Timers are named by an arbitrary hashable key; setting a timer that
 already exists resets it (the usual "reset timer_p" of the pseudocode in
 this literature).
+
+A process does not touch the simulator directly: everything it needs
+from its substrate goes through the two duck-typed surfaces of
+:mod:`repro.transport` — ``sim`` only as a :class:`~repro.transport.Clock`
+(``now``, ``call_after``/``call_at``/``post_after``) and ``network``
+only as a :class:`~repro.transport.Transport` (``register``, ``send``/
+``broadcast``, the crash/recovery notes, ``hub``).  That seam is what
+lets the *same* process classes run on the deterministic
+:class:`~repro.sim.engine.Simulation`/:class:`~repro.sim.network.Network`
+pair or on the live asyncio backend
+(:class:`~repro.live.runtime.LiveClock` /
+:class:`~repro.live.transport.LiveTransport`) unchanged; the parameter
+annotations below name the sim types because that is the default and
+reference backend.  See ``docs/TRANSPORT.md`` for the exact contract
+and the sim-versus-live guarantee table.
 """
 
 from __future__ import annotations
@@ -67,7 +82,13 @@ class ProcessError(RuntimeError):
 
 
 class Process:
-    """A crashable (and recoverable) process on a simulation and a network."""
+    """A crashable (and recoverable) process on a clock and a transport.
+
+    ``sim`` is any :class:`~repro.transport.Clock`, ``network`` any
+    :class:`~repro.transport.Transport` — the sim pair in simulation
+    runs, the live pair in ``python -m repro live`` runs.  The
+    annotations name the sim classes as the reference implementation.
+    """
 
     def __init__(self, pid: int, sim: Simulation, network: Network) -> None:
         self.pid = pid

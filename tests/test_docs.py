@@ -1,0 +1,150 @@
+"""Documentation smoke tests: quoted commands parse, links resolve.
+
+Two classes of doc rot are cheap to catch mechanically and embarrassing
+to ship:
+
+* a quoted ``python -m repro ...`` command that the current CLI no
+  longer accepts (renamed flag, removed subcommand).  Every such
+  command in README.md, EXPERIMENTS.md, DESIGN.md and docs/*.md is
+  extracted — from fenced code blocks and inline backtick spans — and
+  pushed through :func:`repro.cli.build_parser`'s ``parse_args``.
+  Placeholder commands (``<date>``, ``--case N``, trailing ``...``) are
+  skipped; everything concrete must parse.
+* a markdown link (or a backticked repo path like ``docs/MODEL.md``)
+  pointing at a file that does not exist.
+
+Neither test runs anything; both are pure-parse and instant.
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+ROOT = Path(__file__).resolve().parents[1]
+
+DOC_FILES = sorted(
+    [ROOT / "README.md", ROOT / "EXPERIMENTS.md", ROOT / "DESIGN.md"]
+    + list((ROOT / "docs").glob("*.md"))
+)
+
+_FENCE = re.compile(r"```[^\n]*\n(.*?)```", re.DOTALL)
+_INLINE = re.compile(r"`([^`]+)`", re.DOTALL)
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# Backticked references that clearly name a repo file.
+_PATH_REF = re.compile(
+    r"^(?:docs|src|tests|examples|benchmarks)/[A-Za-z0-9_.\-/]+$")
+
+#: Tokens that mark a command as illustrative, not runnable: markdown
+#: placeholders, ellipses, shell substitutions.
+_PLACEHOLDER = re.compile(r"[<>…]|\.\.\.|\$\(")
+
+
+def _doc_id(path: Path) -> str:
+    return str(path.relative_to(ROOT))
+
+
+def extract_commands(text: str) -> list[tuple[str, str]]:
+    """Every quoted ``python -m repro ...`` as ``(command, context)``.
+
+    ``context`` is ``"fence"`` for fenced-code-block lines and
+    ``"inline"`` for backtick spans; prose is allowed to *name* a
+    command group inline (``python -m repro report``) without that
+    being an example invocation.
+    """
+    commands: list[tuple[str, str]] = []
+    for block in _FENCE.findall(text):
+        for line in block.splitlines():
+            if "python -m repro" in line:
+                commands.append((line, "fence"))
+    remainder = _FENCE.sub("", text)
+    for span in _INLINE.findall(remainder):
+        if "python -m repro" in span:
+            commands.append((" ".join(span.split()), "inline"))
+    return commands
+
+
+def parseable_args(command: str) -> list[str] | None:
+    """The argv for ``build_parser`` or None if the command is illustrative."""
+    if _PLACEHOLDER.search(command):
+        return None
+    try:
+        tokens = shlex.split(command, comments=True)
+    except ValueError:
+        return None
+    # Strip env assignments and wrappers ahead of the interpreter.
+    while tokens and ("=" in tokens[0] or tokens[0] == "timeout"
+                      or tokens[0].isdigit()):
+        tokens = tokens[1:]
+    if tokens[:3] != ["python", "-m", "repro"]:
+        return None
+    args = tokens[3:]
+    if _PLACEHOLDER.search(" ".join(args)):
+        return None
+    return args
+
+
+class TestQuotedCommands:
+    @pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_id)
+    def test_every_quoted_cli_command_parses(self, doc: Path) -> None:
+        parser = build_parser()
+        failures: list[str] = []
+        checked = 0
+        for command, context in extract_commands(doc.read_text()):
+            args = parseable_args(command)
+            if args is None:
+                continue
+            if context == "inline" and len(args) <= 1 \
+                    and not any(arg.startswith("-") for arg in args):
+                continue  # prose naming a command (group), not an example
+            checked += 1
+            try:
+                parser.parse_args(args)
+            except SystemExit:
+                failures.append(command.strip())
+        assert not failures, (
+            f"{doc.name}: commands the CLI rejects: {failures}")
+        # README and EXPERIMENTS must actually contain runnable examples;
+        # a regex regression that extracts nothing would pass vacuously.
+        if doc.name in ("README.md",):
+            assert checked >= 5
+
+    def test_extraction_sees_fenced_and_inline_commands(self) -> None:
+        text = ("Run `python -m repro sweep` first.\n\n"
+                "```bash\nPYTHONPATH=src python -m repro bench --quick\n```\n")
+        commands = extract_commands(text)
+        assert ("python -m repro sweep", "inline") in commands
+        assert any("bench" in command for command, _ in commands)
+        assert parseable_args("PYTHONPATH=src python -m repro bench --quick") \
+            == ["bench", "--quick"]
+        assert parseable_args("python -m repro soak --case <i>") is None
+
+
+class TestLinks:
+    @pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_id)
+    def test_markdown_links_resolve(self, doc: Path) -> None:
+        missing: list[str] = []
+        for target in _LINK.findall(doc.read_text()):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            if not (doc.parent / path).exists():
+                missing.append(target)
+        assert not missing, f"{doc.name}: dead links: {missing}"
+
+    @pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_id)
+    def test_backticked_repo_paths_exist(self, doc: Path) -> None:
+        text = _FENCE.sub("", doc.read_text())
+        missing: list[str] = []
+        for span in _INLINE.findall(text):
+            span = " ".join(span.split())
+            if _PATH_REF.match(span) and not (ROOT / span).exists():
+                missing.append(span)
+        assert not missing, f"{doc.name}: stale file references: {missing}"
