@@ -44,21 +44,34 @@ See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 claim-by-claim validation results, and docs/OBSERVABILITY.md for the
 observer protocol and report schema.
 
+:mod:`repro.load`
+    Population-scale client load: :class:`ClientFleet` (open/closed
+    loops, Zipf key skew, at-least-once retry), sharded multi-group
+    logs (:class:`ShardedLog`), and the :class:`LoadSpec` →
+    :class:`LoadOutcome` pipeline behind ``python -m repro load``
+    (docs/LOAD.md spells out the model and the E19 schema).
+
 Deprecation policy: superseded entry points (currently the
 ``Network(trace=..., metrics=...)`` keyword arguments, replaced by
-``Network(observers=...)``) keep working for one release but emit a
-``DeprecationWarning`` once per call site; the test suite escalates
-these warnings to errors so no in-repo code regresses onto them.
+``Network(observers=...)``, and the ``LogWorkload`` constructor,
+replaced by ``WorkloadSpec.build``) keep working for one release but
+emit a ``DeprecationWarning`` once per call site; the test suite
+escalates these warnings to errors so no in-repo code regresses onto
+them.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from repro.consensus import (  # noqa: E402  (re-exports after docstring)
+    Batch,
     ConsensusConfig,
     ConsensusSystem,
     LogReplica,
     LogWorkload,
+    ShardedLog,
     SingleDecreeConsensus,
+    WorkloadOutcome,
+    WorkloadSpec,
     check_log,
     check_single_decree,
 )
@@ -75,6 +88,13 @@ from repro.core import (  # noqa: E402
     make_factory,
 )
 from repro.harness import OmegaOutcome, OmegaScenario, render_table  # noqa: E402
+from repro.load import (  # noqa: E402
+    ClientFleet,
+    LoadOutcome,
+    LoadRun,
+    LoadSpec,
+    ZipfSampler,
+)
 from repro.obs import (  # noqa: E402
     Observer,
     ObserverHub,
@@ -108,13 +128,22 @@ from repro.sim import (  # noqa: E402
 
 __all__ = [
     "__version__",
+    "Batch",
     "ConsensusConfig",
     "ConsensusSystem",
     "LogReplica",
     "LogWorkload",
+    "ShardedLog",
     "SingleDecreeConsensus",
+    "WorkloadOutcome",
+    "WorkloadSpec",
     "check_log",
     "check_single_decree",
+    "ClientFleet",
+    "LoadOutcome",
+    "LoadRun",
+    "LoadSpec",
+    "ZipfSampler",
     "AllTimelyOmega",
     "CommEfficientOmega",
     "FSourceOmega",

@@ -18,6 +18,8 @@ Examples
     python -m repro soak --minutes 10
     python -m repro bench --jobs 4 --seed 7
     python -m repro bench --quick --jobs 2 --out bench-smoke.json
+    python -m repro load --quick --jobs 2 --no-out
+    python -m repro load --seed 7 --out BENCH_load.json
     python -m repro report scenario --algorithm comm-efficient --n 6
     python -m repro report bench --case-id e2/comm-efficient/n=8
     python -m repro report soak --seed 7 --case 12 --out report.json
@@ -38,7 +40,7 @@ from typing import Sequence
 
 from repro.consensus import (
     ConsensusSystem,
-    LogWorkload,
+    WorkloadSpec,
     check_log,
     check_single_decree,
 )
@@ -208,8 +210,8 @@ def cmd_log(args: argparse.Namespace) -> int:
     system = ConsensusSystem.build_replicated_log(
         args.n, lambda: multi_source_links(args.n, sources, timings),
         omega_name=args.omega, seed=args.seed, persist=args.persist)
-    workload = LogWorkload(system, count=args.commands,
-                           period=args.period, start=5.0)
+    workload = WorkloadSpec(count=args.commands,
+                            period=args.period, start=5.0).build(system)
     system.start_all()
     if args.crash_leader_at is not None:
         system.run_until(args.crash_leader_at)
@@ -390,37 +392,125 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print("\nverdict regressions:")
         for case_id in failed:
             print(f"  FAIL {case_id}")
-    drifted = False
-    if args.compare:
-        import json
+    drifted = args.compare and _print_compare(report, args.compare)
+    return 1 if failed or drifted else 0
 
-        try:
-            with open(args.compare) as handle:
-                old = json.load(handle)
-        except (OSError, ValueError) as error:
-            raise SystemExit(f"cannot read {args.compare}: {error}")
-        diff = bench.compare_reports(old, report)
-        drift_rows = [
-            [row["case_id"],
-             f"{row['old_events_per_s']:,.0f}" if row["old_events_per_s"] else "-",
-             f"{row['new_events_per_s']:,.0f}" if row["new_events_per_s"] else "-",
+
+def _print_compare(report: dict, compare_path: str) -> bool:
+    """Diff ``report`` against an on-disk one; True iff results drifted.
+
+    Prints the events/s drift table, a commit-latency percentile drift
+    table when either report carries E19 ``latency_s`` blocks, and the
+    added/removed/changed case lists (shared by ``bench --compare`` and
+    ``load --compare``).
+    """
+    import json
+
+    from repro.harness import bench
+
+    try:
+        with open(compare_path) as handle:
+            old = json.load(handle)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"cannot read {compare_path}: {error}")
+    diff = bench.compare_reports(old, report)
+    drift_rows = [
+        [row["case_id"],
+         f"{row['old_events_per_s']:,.0f}" if row["old_events_per_s"] else "-",
+         f"{row['new_events_per_s']:,.0f}" if row["new_events_per_s"] else "-",
+         f"{(row['ratio'] - 1) * 100:+.1f}%" if row["ratio"] else "-"]
+        for row in diff["throughput"]
+    ]
+    print()
+    print(render_table(
+        ["case", "old events/s", "new events/s", "drift"], drift_rows,
+        title=f"throughput vs {compare_path}"))
+    if diff["latency"]:
+        latency_rows = [
+            [row["case_id"], row["quantile"],
+             f"{row['old_s']:.3f}" if row["old_s"] is not None else "-",
+             f"{row['new_s']:.3f}" if row["new_s"] is not None else "-",
              f"{(row['ratio'] - 1) * 100:+.1f}%" if row["ratio"] else "-"]
-            for row in diff["throughput"]
+            for row in diff["latency"]
         ]
         print()
         print(render_table(
-            ["case", "old events/s", "new events/s", "drift"], drift_rows,
-            title=f"throughput vs {args.compare}"))
-        for label in ("added", "removed"):
-            if diff[label]:
-                print(f"{label} cases: {', '.join(diff[label])}")
-        if diff["changed"]:
-            drifted = True
-            print("\ndeterministic results changed (verdict/result drift):")
-            for case_id in diff["changed"]:
-                print(f"  CHANGED {case_id}")
-        else:
-            print("deterministic results identical for all common cases")
+            ["case", "quantile", "old (s)", "new (s)", "drift"],
+            latency_rows, title=f"commit latency vs {compare_path}"))
+    for label in ("added", "removed"):
+        if diff[label]:
+            print(f"{label} cases: {', '.join(diff[label])}")
+    if diff["changed"]:
+        print("\ndeterministic results changed (verdict/result drift):")
+        for case_id in diff["changed"]:
+            print(f"  CHANGED {case_id}")
+        return True
+    print("deterministic results identical for all common cases")
+    return False
+
+
+def cmd_load(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.harness import bench
+
+    cases = bench.default_suite(seed=args.seed, experiments=("e19",),
+                                quick=args.quick)
+    if args.filter:
+        import fnmatch
+
+        cases = [case for case in cases
+                 if fnmatch.fnmatchcase(case.case_id, args.filter)]
+        if not cases:
+            raise SystemExit(
+                f"--filter {args.filter!r} matches no case in this suite")
+    jobs = args.jobs if args.jobs else (os.cpu_count() or 1)
+    started = time.perf_counter()
+    results = bench.run_suite(cases, jobs=jobs)
+    wall = time.perf_counter() - started
+    report = bench.build_report(results, seed=args.seed, jobs=jobs,
+                                suite="load-quick" if args.quick else "load",
+                                wall_s=wall)
+
+    def _seconds(value: object) -> str:
+        return f"{value:.3f}" if isinstance(value, (int, float)) else "-"
+
+    rows = []
+    for result in results:
+        details = result["result"]
+        latency = details.get("latency_s") or {}
+        committed = details.get("committed")
+        if committed is None:  # batching rows nest the measured side
+            committed = (details.get("batched") or {}).get("committed")
+        throughput = details.get("throughput_cps")
+        rows.append([
+            result["case_id"], "ok" if result["ok"] else "FAIL",
+            committed if committed is not None else "-",
+            f"{throughput:.1f}" if throughput else "-",
+            _seconds(latency.get("p50")), _seconds(latency.get("p95")),
+            _seconds(latency.get("p99")),
+            f"{result['timing']['wall_s']:.2f}",
+        ])
+    print(render_table(
+        ["case", "verdict", "committed", "commits/s", "p50 (s)",
+         "p95 (s)", "p99 (s)", "wall (s)"], rows,
+        title=f"load suite E19 ({len(results)} cases, jobs={jobs}, "
+              f"seed={args.seed})"))
+    summary = report["summary"]
+    print(f"\n{summary['ok']}/{summary['cases']} cases ok   "
+          f"events={summary['events']:,}   "
+          f"sim={summary['sim_time_s']:,.0f}s   wall={wall:.1f}s")
+    if not args.no_out:
+        out = args.out or bench.default_output_name()
+        with open(out, "w") as handle:
+            handle.write(bench.report_to_json(report))
+        print(f"report written to {out}")
+    failed = [result["case_id"] for result in results if not result["ok"]]
+    if failed:
+        print("\nverdict regressions:")
+        for case_id in failed:
+            print(f"  FAIL {case_id}")
+    drifted = args.compare and _print_compare(report, args.compare)
     return 1 if failed or drifted else 0
 
 
@@ -747,7 +837,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench_cmd.add_argument("--experiments", default="",
                            metavar="E1,E2,...",
                            help="comma-separated subset of "
-                                "e1,e2,e3,e4,e17,e18")
+                                "e1,e2,e3,e4,e17,e18,e19")
     bench_cmd.add_argument("--filter", default="", metavar="GLOB",
                            help="run only cases whose case_id matches this "
                                 "glob (e.g. 'e18/*' or '*/n=32')")
@@ -761,6 +851,29 @@ def build_parser() -> argparse.ArgumentParser:
     bench_cmd.add_argument("--no-out", action="store_true",
                            help="print tables only, write no JSON")
     bench_cmd.set_defaults(handler=cmd_bench)
+
+    load_cmd = sub.add_parser(
+        "load", help="client-fleet load suite (E19): committed-command "
+                     "throughput and p50/p95/p99 commit latency under "
+                     "batching, pipelining, sharding and compaction")
+    load_cmd.add_argument("--jobs", type=int, default=0,
+                          help="worker processes (default: all CPU cores); "
+                               "results are identical at any level")
+    load_cmd.add_argument("--seed", type=int, default=7)
+    load_cmd.add_argument("--quick", action="store_true",
+                          help="CI-smoke sizing (small fleets, short windows)")
+    load_cmd.add_argument("--filter", default="", metavar="GLOB",
+                          help="run only cases whose case_id matches this "
+                               "glob (e.g. 'e19/sharded/*')")
+    load_cmd.add_argument("--compare", default="", metavar="OLD.json",
+                          help="diff against a previous report: events/s and "
+                               "commit-latency percentile drift, exit "
+                               "nonzero if any deterministic result changed")
+    load_cmd.add_argument("--out", default="",
+                          help="report path (default BENCH_<date>.json)")
+    load_cmd.add_argument("--no-out", action="store_true",
+                          help="print tables only, write no JSON")
+    load_cmd.set_defaults(handler=cmd_load)
 
     report = sub.add_parser(
         "report", help="observability report (repro-report/v1 JSON + text) "

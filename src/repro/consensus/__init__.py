@@ -3,8 +3,9 @@
 Single-decree, ballot-based consensus and a multi-decree replicated log,
 both safe under asynchrony/loss/crash and live once the paired Omega
 module stabilizes with a majority of correct processes.  Assembled with
-:class:`ConsensusSystem`, exercised by :class:`LogWorkload`, judged by
-:func:`check_single_decree` / :func:`check_log`.
+:class:`ConsensusSystem` (or, sharded over many groups, with
+:class:`ShardedLog`), exercised by :class:`WorkloadSpec` workloads,
+judged by :func:`check_single_decree` / :func:`check_log`.
 """
 
 from repro.consensus.checker import (
@@ -34,7 +35,8 @@ from repro.consensus.messages import (
     Propose,
 )
 from repro.consensus.node import ConsensusNode, ConsensusSystem
-from repro.consensus.replica import NOOP, LogReplica
+from repro.consensus.replica import NOOP, Batch, LogReplica, entry_commands
+from repro.consensus.sharding import ShardedLog
 from repro.consensus.rotating import (
     RotatingLeaderOracle,
     build_rotating_single_decree,
@@ -47,7 +49,12 @@ from repro.consensus.statemachine import (
     ReplicatedStateMachine,
     StateMachine,
 )
-from repro.consensus.workload import LogWorkload
+from repro.consensus.workload import (
+    LogWorkload,
+    WorkloadDriver,
+    WorkloadOutcome,
+    WorkloadSpec,
+)
 
 __all__ = [
     "LogReport",
@@ -73,7 +80,10 @@ __all__ = [
     "ConsensusNode",
     "ConsensusSystem",
     "NOOP",
+    "Batch",
     "LogReplica",
+    "ShardedLog",
+    "entry_commands",
     "RotatingLeaderOracle",
     "build_rotating_single_decree",
     "SingleDecreeConsensus",
@@ -83,4 +93,7 @@ __all__ = [
     "ReplicatedStateMachine",
     "StateMachine",
     "LogWorkload",
+    "WorkloadDriver",
+    "WorkloadOutcome",
+    "WorkloadSpec",
 ]

@@ -144,7 +144,10 @@ def check_log(system: "ConsensusSystem", submitted: set[Any]) -> LogReport:
     ``submitted`` is the set of commands the workload injected; validity
     demands every committed command be one of them.
     """
-    from repro.consensus.replica import LogReplica  # local: avoid cycle
+    from repro.consensus.replica import (  # local: avoid cycle
+        LogReplica,
+        entry_commands,
+    )
 
     correct = tuple(system.up_pids())
     divergences: list[str] = []
@@ -159,11 +162,9 @@ def check_log(system: "ConsensusSystem", submitted: set[Any]) -> LogReport:
         logs[pid] = prefix
         committed_by_pid[pid] = len(prefix)
         for entry in prefix:
-            if entry is None:  # NOOP filler
-                continue
-            _, command = entry
-            if command not in submitted:
-                valid = False
+            for _, command in entry_commands(entry):
+                if command not in submitted:
+                    valid = False
     # Agreement: committed prefixes must be consistent (one a prefix of
     # the other) for every pair.
     pids = sorted(logs)

@@ -49,7 +49,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Hashable
 
 from repro.consensus.messages import Prepare
-from repro.consensus.replica import NOOP, LogReplica
+from repro.consensus.replica import NOOP, LogReplica, entry_commands
 from repro.consensus.statemachine import StateMachine
 from repro.sim.engine import Simulation
 from repro.sim.messages import Message
@@ -135,13 +135,11 @@ class CompactingReplica(LogReplica):
         while self._applied_through < self.commit_index:
             self._applied_through += 1
             entry = self.log.get(self._applied_through)
-            if entry is NOOP or entry is None:
-                continue
-            command_id, command = entry
-            if command_id in self.applied_ids:
-                continue
-            self.applied_ids.add(command_id)
-            self.machine.apply(command)
+            for command_id, command in entry_commands(entry):
+                if command_id in self.applied_ids:
+                    continue
+                self.applied_ids.add(command_id)
+                self.machine.apply(command)
 
     def machine_snapshot(self) -> Any:
         """The embedded machine's state (entries applied on commit)."""
@@ -305,8 +303,9 @@ def check_compacting_log(system, submitted: set[Any]) -> CompactingLogReport:  #
     valid = True
     for pid, replica in replicas.items():
         for instance, entry in replica.retained_entries().items():
-            if entry is not NOOP and entry[1] not in submitted:
-                valid = False
+            for _, command in entry_commands(entry):
+                if command not in submitted:
+                    valid = False
 
     pids = sorted(replicas)
     for left_index, left in enumerate(pids):

@@ -18,8 +18,21 @@ class ConsensusConfig:
         message happen each tick (mandatory over fair-lossy links), and a
         proposer (re)starts ballots on ticks.
     max_batch:
+        Replicated log only: how many log instances the leader may keep
+        open concurrently (the pipelining window).
+    batch_size:
         Replicated log only: how many pending commands the leader may
-        open concurrently (pipelined instances).
+        pack into one log instance.  ``1`` (the default) proposes plain
+        ``(command_id, command)`` pairs exactly as before; larger values
+        wrap multi-command slots in
+        :class:`~repro.consensus.replica.Batch`.
+    queue_limit:
+        Replicated log only: bound on the per-replica pending-command
+        queue.  ``None`` (the default) keeps the queue unbounded; with a
+        limit, :meth:`~repro.consensus.replica.LogReplica.submit`
+        returns ``False`` (sheds) once the queue is full, and the
+        workload is expected to defer and retry — the leader-side
+        backpressure signal.
     backoff_cap:
         Crash-recovery stacks only (``persist=True``): retransmissions
         to a peer that has stayed silent back off exponentially from
@@ -33,6 +46,8 @@ class ConsensusConfig:
 
     tick: float = 0.5
     max_batch: int = 8
+    batch_size: int = 1
+    queue_limit: int | None = None
     backoff_cap: float = 8.0
     sync_latency: float = 0.02
 
@@ -41,6 +56,10 @@ class ConsensusConfig:
             raise ValueError("tick must be positive")
         if self.max_batch < 1:
             raise ValueError("max_batch must be at least 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        if self.queue_limit is not None and self.queue_limit < 1:
+            raise ValueError("queue_limit must be None or at least 1")
         if self.backoff_cap < self.tick:
             raise ValueError("backoff_cap must be at least one tick")
         if self.sync_latency < 0:

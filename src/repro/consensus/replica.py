@@ -42,6 +42,7 @@ follower with its acceptor state and committed prefix intact.
 from __future__ import annotations
 
 from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Any, Callable, Hashable
 
 from repro.consensus.config import ConsensusConfig
@@ -63,7 +64,7 @@ from repro.sim.network import Network
 from repro.sim.process import Process
 from repro.sim.storage import StableStorage
 
-__all__ = ["LogReplica", "NOOP"]
+__all__ = ["Batch", "LogReplica", "NOOP", "entry_commands"]
 
 _TICK = "tick"
 
@@ -76,6 +77,36 @@ _K_LOG = "log"  # (("log", instance) -> decided value)
 
 NOOP = None
 """Filler value proposed for recovered-but-empty slots."""
+
+
+@dataclass(frozen=True, slots=True)
+class Batch:
+    """Several client commands packed into one log instance.
+
+    With ``config.batch_size > 1`` the leader drains up to that many
+    pending commands into a single slot, so one Propose/Accepted round
+    trip commits them all.  A slot that drains exactly one command stays
+    a plain ``(command_id, command)`` pair — the ``batch_size=1``
+    default is therefore bit-identical to the unbatched protocol.
+    """
+
+    entries: tuple[tuple[Hashable, Any], ...]
+    """The packed ``(command_id, command)`` pairs, in submission order."""
+
+
+def entry_commands(entry: Any) -> tuple[tuple[Hashable, Any], ...]:
+    """The ``(command_id, command)`` pairs a decided log entry carries.
+
+    ``NOOP`` fillers carry none, a :class:`Batch` carries its entries,
+    and anything else is a single plain pair.  Every consumer that walks
+    committed entries (checkers, state machines, workloads) goes through
+    here so batched and unbatched logs look alike.
+    """
+    if entry is NOOP:
+        return ()
+    if isinstance(entry, Batch):
+        return entry.entries
+    return (entry,)
 
 PHASE_FOLLOWER = "follower"
 PHASE_PREPARING = "preparing"
@@ -158,19 +189,40 @@ class LogReplica(Process):
         # Client command intake (insertion ordered).
         self.pending: "OrderedDict[Hashable, Any]" = OrderedDict()
 
+        # Load counters (observability; survive recovery — they describe
+        # the machine's whole lifetime, not one incarnation).
+        self.shed_count = 0
+        self.max_queue_depth = 0
+        self.batch_histogram: dict[int, int] = {}
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
 
-    def submit(self, command_id: Hashable, command: Any) -> None:
+    def submit(self, command_id: Hashable, command: Any) -> bool:
         """Hand a client command to this node (any node will do).
 
         At-least-once: callers may resubmit; ids deduplicate everywhere.
+
+        Returns ``True`` when the command is accepted into (or already
+        sits in) this replica's pipeline, and ``False`` when it is
+        **shed**: the node is crashed, or ``config.queue_limit`` is set
+        and the pending queue is full.  A shed is the backpressure
+        signal — the caller should defer and resubmit later, possibly to
+        another node.  Commands already committed report ``True``.
         """
-        if self.crashed or command_id in self.committed_ids:
-            return
-        if command_id not in self.pending:
-            self.pending[command_id] = command
+        if self.crashed:
+            return False
+        if command_id in self.committed_ids or command_id in self.pending:
+            return True
+        limit = self.config.queue_limit
+        if limit is not None and len(self.pending) >= limit:
+            self.shed_count += 1
+            return False
+        self.pending[command_id] = command
+        if len(self.pending) > self.max_queue_depth:
+            self.max_queue_depth = len(self.pending)
+        return True
 
     def committed_prefix(self) -> list[Any]:
         """Values of the contiguous decided prefix (``NOOP`` fillers included)."""
@@ -181,14 +233,20 @@ class LogReplica(Process):
         seen: set[Hashable] = set()
         out: list[Any] = []
         for entry in self.committed_prefix():
-            if entry is NOOP:
-                continue
-            command_id, command = entry
-            if command_id in seen:
-                continue
-            seen.add(command_id)
-            out.append(command)
+            for command_id, command in entry_commands(entry):
+                if command_id in seen:
+                    continue
+                seen.add(command_id)
+                out.append(command)
         return out
+
+    def load_stats(self) -> dict[str, Any]:
+        """Lifetime load counters: sheds, queue high-water, batch sizes."""
+        return {
+            "shed": self.shed_count,
+            "max_queue_depth": self.max_queue_depth,
+            "batch_sizes": dict(sorted(self.batch_histogram.items())),
+        }
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -241,8 +299,8 @@ class LogReplica(Process):
                 elif key[0] == _K_LOG:
                     value = storage.get(key)
                     self.log[key[1]] = value
-                    if value is not NOOP:
-                        self.committed_ids.add(value[0])
+                    for command_id, _ in entry_commands(value):
+                        self.committed_ids.add(command_id)
             while self.commit_index + 1 in self.log:
                 self.commit_index += 1
         self.set_periodic(_TICK, self.config.tick)
@@ -367,17 +425,24 @@ class LogReplica(Process):
 
     def _pump_proposals(self) -> None:
         assert self.ballot is not None
-        # Open new slots for pending commands, up to the pipeline budget.
-        # Commands stay in ``pending`` until committed — if leadership is
-        # lost mid-flight they are simply re-forwarded/re-proposed later,
-        # deduplicated by id here and at apply time.
+        # Open new slots for pending commands, up to the pipeline budget
+        # (``max_batch`` concurrent instances), packing up to
+        # ``batch_size`` commands per slot.  Commands stay in ``pending``
+        # until committed — if leadership is lost mid-flight they are
+        # simply re-forwarded/re-proposed later, deduplicated by id here
+        # and at apply time.
+        batch: list[tuple[Hashable, Any]] = []
         for command_id, command in list(self.pending.items()):
             if len(self._open) >= self.config.max_batch:
                 break
             if command_id in self.committed_ids or self._is_in_flight(command_id):
                 continue
-            self._open_slot(self._next_instance, (command_id, command))
-            self._next_instance += 1
+            batch.append((command_id, command))
+            if len(batch) >= self.config.batch_size:
+                self._open_batch(batch)
+                batch = []
+        if batch and len(self._open) < self.config.max_batch:
+            self._open_batch(batch)
         # (Re)transmit every open slot to peers that have not accepted.
         for instance, slot in self._open.items():
             for peer in range(self.n):
@@ -386,10 +451,18 @@ class LogReplica(Process):
                         peer, Propose(self.pid, self.ballot, instance,
                                       slot.value, self.commit_index))
 
+    def _open_batch(self, batch: list[tuple[Hashable, Any]]) -> None:
+        value: Any = batch[0] if len(batch) == 1 else Batch(tuple(batch))
+        self.batch_histogram[len(batch)] = \
+            self.batch_histogram.get(len(batch), 0) + 1
+        self._open_slot(self._next_instance, value)
+        self._next_instance += 1
+
     def _is_in_flight(self, command_id: Hashable) -> bool:
         return any(
-            slot.value is not NOOP and slot.value[0] == command_id
+            known_id == command_id
             for slot in self._open.values()
+            for known_id, _ in entry_commands(slot.value)
         )
 
     def _open_slot(self, instance: int, value: Any) -> None:
@@ -472,9 +545,9 @@ class LogReplica(Process):
             # learning through Decide defers its DecideAck on it.
             self.storage.put((_K_LOG, instance), value)
         self.network.hub.decide(self.now, self.pid, (instance, value))
-        if value is not NOOP:
-            self.committed_ids.add(value[0])
-            self.pending.pop(value[0], None)
+        for command_id, _ in entry_commands(value):
+            self.committed_ids.add(command_id)
+            self.pending.pop(command_id, None)
         while self.commit_index + 1 in self.log:
             self.commit_index += 1
 

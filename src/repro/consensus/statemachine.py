@@ -21,7 +21,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any, Hashable
 
-from repro.consensus.replica import LogReplica
+from repro.consensus.replica import LogReplica, entry_commands
 
 __all__ = [
     "StateMachine",
@@ -173,14 +173,12 @@ class ReplicatedStateMachine:
         while self._applied_through < self.replica.commit_index:
             self._applied_through += 1
             entry = self.replica.log[self._applied_through]
-            if entry is None:  # noop filler
-                continue
-            command_id, command = entry
-            if command_id in self._applied_ids:
-                continue  # duplicate proposal of a retried command
-            self._applied_ids.add(command_id)
-            self.results[command_id] = self.machine.apply(command)
-            applied += 1
+            for command_id, command in entry_commands(entry):
+                if command_id in self._applied_ids:
+                    continue  # duplicate proposal of a retried command
+                self._applied_ids.add(command_id)
+                self.results[command_id] = self.machine.apply(command)
+                applied += 1
         return applied
 
     @property

@@ -66,7 +66,7 @@ __all__ = [
 SCHEMA_VERSION = "repro-bench/v1"
 """Version tag of the JSON report layout; bump on breaking changes."""
 
-EXPERIMENTS = ("e1", "e2", "e3", "e4", "e17", "e18")
+EXPERIMENTS = ("e1", "e2", "e3", "e4", "e17", "e18", "e19")
 """Experiment families the runner knows how to fan out."""
 
 _TIMINGS = LinkTimings(gst=5.0)
@@ -216,6 +216,56 @@ def default_suite(
                 case_id=f"e17/adaptive-vs-static/n={n}",
                 experiment="e17",
                 params={"mode": "adaptive", "n": n, "seed": seed}))
+
+    if "e19" in experiments:
+        # Consensus-under-load rows (docs/LOAD.md): client fleets driving
+        # the replicated log, measured as committed-command throughput
+        # and commit-latency percentiles.  All sim-time figures, so the
+        # rows are deterministic at any --jobs level.
+        if quick:
+            cases.append(BenchCase(
+                case_id="e19/batching/n=5",
+                experiment="e19",
+                params={"mode": "batching", "seed": seed, "clients": 200,
+                        "keys": 64, "rate": 40.0, "duration": 15.0,
+                        "horizon": 60.0}))
+            cases.append(BenchCase(
+                case_id="e19/sharded/groups=4/n=5",
+                experiment="e19",
+                params={"mode": "sharded", "seed": seed, "groups": 4,
+                        "clients": 200, "keys": 64, "rate": 20.0,
+                        "duration": 20.0, "horizon": 60.0}))
+        else:
+            cases.append(BenchCase(
+                case_id="e19/open/n=5",
+                experiment="e19",
+                params={"mode": "open", "seed": seed, "clients": 2000,
+                        "keys": 512, "rate": 40.0, "duration": 60.0,
+                        "horizon": 120.0}))
+            cases.append(BenchCase(
+                case_id="e19/closed/n=5",
+                experiment="e19",
+                params={"mode": "closed", "seed": seed, "clients": 64,
+                        "keys": 256, "think_time": 4.0, "duration": 60.0,
+                        "horizon": 120.0}))
+            cases.append(BenchCase(
+                case_id="e19/batching/n=5",
+                experiment="e19",
+                params={"mode": "batching", "seed": seed, "clients": 500,
+                        "keys": 128, "rate": 60.0, "duration": 40.0,
+                        "horizon": 120.0}))
+            cases.append(BenchCase(
+                case_id="e19/sharded/groups=4/n=5",
+                experiment="e19",
+                params={"mode": "sharded", "seed": seed, "groups": 4,
+                        "clients": 1000, "keys": 256, "rate": 40.0,
+                        "duration": 45.0, "horizon": 100.0}))
+            cases.append(BenchCase(
+                case_id="e19/compaction/n=5",
+                experiment="e19",
+                params={"mode": "compaction", "seed": seed, "groups": 2,
+                        "keep_tail": 16, "clients": 200, "keys": 64,
+                        "rate": 15.0, "duration": 45.0, "horizon": 100.0}))
 
     if "e18" in experiments and not quick:
         # Large-n CE census: the paper's n-1-links claim at the next
@@ -554,6 +604,91 @@ def _run_e18(n: int, seed: int) -> tuple[Verdict, dict, Any]:
     return verdict, details, outcome.cluster
 
 
+# E19 (docs/LOAD.md): client-fleet load against the replicated log.
+
+def _run_e19_load(mode: str, seed: int,
+                  **spec_kwargs: Any) -> tuple[Verdict, dict, Any]:
+    """One fleet row: run a LoadSpec, judge per group, require drain."""
+    from repro.load import LoadSpec  # local: keep bench importable early
+
+    spec = LoadSpec(
+        seed=seed,
+        mode="closed" if mode == "closed" else "open",
+        compacting=(mode == "compaction"),
+        **spec_kwargs)
+    run = spec.build()
+    outcome = run.run()
+    details = outcome.to_json()
+    verdict = outcome.verdict
+    if outcome.done:
+        verdict = verdict.merge(Verdict.passed(
+            committed=outcome.committed,
+            throughput_cps=outcome.throughput_cps))
+    else:
+        verdict = verdict.merge(Verdict.failed(
+            f"{outcome.issued - outcome.committed} of {outcome.issued} "
+            f"commands never committed by the horizon",
+            committed=outcome.committed))
+    return verdict, details, run.system
+
+
+def _run_e19_batching(seed: int,
+                      **spec_kwargs: Any) -> tuple[Verdict, dict, Any]:
+    """Batched+pipelined vs the unbatched control on the same offered load.
+
+    The claim this row defends (ISSUE 9): with multi-command slots
+    (``batch_size=8``) and a pipelining window (``max_batch=8``) the
+    leader commits strictly more commands per simulated second than the
+    one-command-one-slot control (``batch_size=1``, window 1) at n=5 —
+    with both sides passing the consensus checkers.  Only the batched
+    side must drain by the horizon; falling behind is exactly what the
+    control demonstrates.
+    """
+    from repro.load import LoadSpec  # local: keep bench importable early
+
+    outcomes: dict[str, Any] = {}
+    systems: dict[str, Any] = {}
+    for label, batch_size, window in (("batched", 8, 8), ("control", 1, 1)):
+        run = LoadSpec(seed=seed, batch_size=batch_size, window=window,
+                       **spec_kwargs).build()
+        outcomes[label] = run.run()
+        systems[label] = run.system
+    batched, control = outcomes["batched"], outcomes["control"]
+    speedup = (batched.throughput_cps / control.throughput_cps
+               if batched.throughput_cps and control.throughput_cps else None)
+    details = {
+        "batched": batched.to_json(),
+        "control": control.to_json(),
+        "latency_s": batched.to_json()["latency_s"],
+        "throughput_cps": batched.throughput_cps,
+        "speedup": speedup,
+    }
+    if not (batched.verdict.ok and control.verdict.ok):
+        verdict = Verdict.failed("a consensus checker failed on one side")
+    elif not batched.done:
+        verdict = Verdict.failed(
+            f"batched side left {batched.issued - batched.committed} "
+            f"commands uncommitted")
+    elif not (batched.throughput_cps or 0) > (control.throughput_cps or 0):
+        verdict = Verdict.failed(
+            f"batching did not beat the control: "
+            f"{batched.throughput_cps} vs {control.throughput_cps} cps")
+    else:
+        verdict = Verdict.passed(
+            throughput_cps=batched.throughput_cps,
+            control_throughput_cps=control.throughput_cps,
+            speedup=speedup)
+    return verdict, details, systems["batched"]
+
+
+def _run_e19(mode: str, **params: Any) -> tuple[Verdict, dict, Any]:
+    if mode == "batching":
+        return _run_e19_batching(**params)
+    if mode in ("open", "closed", "sharded", "compaction"):
+        return _run_e19_load(mode, **params)
+    raise ValueError(f"unknown e19 mode {mode!r}")
+
+
 _RUNNERS: dict[str, Callable[..., tuple[Verdict, dict, Any]]] = {
     "e1": _run_e1,
     "e2": _run_e2,
@@ -561,6 +696,7 @@ _RUNNERS: dict[str, Callable[..., tuple[Verdict, dict, Any]]] = {
     "e4": _run_e4,
     "e17": _run_e17,
     "e18": _run_e18,
+    "e19": _run_e19,
 }
 
 
@@ -677,10 +813,13 @@ def compare_reports(old: dict, new: dict) -> dict:
     (``changed`` lists cases whose deterministic record — verdict,
     result, events, profile — differs) and, for cases present in both
     reports, the nondeterministic ``timing.events_per_s`` figures
-    (``throughput`` rows; ``ratio`` is new/old).  ``added``/``removed``
-    list case_ids present in only one report — suite-shape changes, not
-    regressions.  ``ok`` is True iff no common case's deterministic
-    record changed; the CLI's ``bench --compare`` exits nonzero on it.
+    (``throughput`` rows; ``ratio`` is new/old).  Cases whose ``result``
+    carries a ``latency_s`` percentile block (the E19 load rows) also
+    get ``latency`` rows — old/new/ratio per percentile — so commit-tail
+    drift is visible at a glance.  ``added``/``removed`` list case_ids
+    present in only one report — suite-shape changes, not regressions.
+    ``ok`` is True iff no common case's deterministic record changed;
+    the CLI's ``bench --compare`` exits nonzero on it.
     """
     old_cases = {case["case_id"]: case
                  for case in strip_nondeterministic(old)["cases"]}
@@ -705,12 +844,32 @@ def compare_reports(old: dict, new: dict) -> dict:
             "ratio": (new_eps / old_eps
                       if old_eps and new_eps else None),
         })
+    latency = []
+    for case_id in new_cases:
+        if case_id not in old_cases:
+            continue
+        old_block = (old_cases[case_id].get("result") or {}).get("latency_s")
+        new_block = (new_cases[case_id].get("result") or {}).get("latency_s")
+        if not isinstance(old_block, dict) or not isinstance(new_block, dict):
+            continue
+        for quantile in sorted(set(old_block) | set(new_block)):
+            old_value = old_block.get(quantile)
+            new_value = new_block.get(quantile)
+            latency.append({
+                "case_id": case_id,
+                "quantile": quantile,
+                "old_s": old_value,
+                "new_s": new_value,
+                "ratio": (new_value / old_value
+                          if old_value and new_value else None),
+            })
     return {
         "ok": not changed,
         "changed": changed,
         "added": sorted(set(new_cases) - set(old_cases)),
         "removed": sorted(set(old_cases) - set(new_cases)),
         "throughput": throughput,
+        "latency": latency,
     }
 
 

@@ -28,7 +28,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.consensus import ConsensusSystem, LogWorkload, check_log, \
+from repro.consensus import ConsensusSystem, WorkloadSpec, check_log, \
     check_single_decree
 from repro.core.config import OmegaConfig
 from repro.harness.scenarios import OmegaScenario
@@ -166,7 +166,7 @@ def _run_log(case: FuzzCase, timings: LinkTimings) -> FuzzResult:
         case.n,
         lambda: multi_source_links(case.n, (case.source,), timings),
         omega_name=case.algorithm, seed=case.seed)
-    workload = LogWorkload(system, count=15, period=0.6, start=3.0)
+    workload = WorkloadSpec(count=15, period=0.6, start=3.0).build(system)
     case.fault_plan().schedule(system)
     system.start_all()
     system.run_until(case.horizon)

@@ -57,7 +57,7 @@ import random
 import time
 from dataclasses import dataclass
 
-from repro.consensus import ConsensusSystem, LogWorkload, check_log, \
+from repro.consensus import ConsensusSystem, WorkloadSpec, check_log, \
     check_single_decree
 from repro.core.checker import analyze_omega_run
 from repro.core.config import OmegaConfig
@@ -383,7 +383,7 @@ def _execute_log(case: SoakCase, timings: LinkTimings) -> tuple[bool, str]:
         case.n,
         lambda: multi_source_links(case.n, (case.source,), timings),
         omega_name=case.algorithm, seed=case.seed, persist=case.recovery)
-    workload = LogWorkload(system, count=12, period=0.6, start=3.0)
+    workload = WorkloadSpec(count=12, period=0.6, start=3.0).build(system)
     case.fault_plan().schedule(system)
     system.start_all()
     system.run_until(case.horizon)

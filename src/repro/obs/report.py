@@ -42,6 +42,11 @@ Layout (``repro-report/v1``)
     modeled bytes and MTU-sized packets, sent and delivered, by kind),
     ``busy_links`` (trailing-window census), and ``timeliness``
     (per-link classification plus ``matches_topology``).
+``workload``
+    Optional, additive (absent unless the run drove client load):
+    replica-side backpressure counters — commands ``shed`` at bounded
+    leader queues, the queue high-water mark, and the slot batch-size
+    histogram.
 ``meta``
     Wall-clock and timestamp — the only nondeterministic block,
     omitted when unavailable.
@@ -52,6 +57,7 @@ Everything outside ``meta`` is deterministic in the run's inputs.
 from __future__ import annotations
 
 from collections import Counter
+from dataclasses import fields, is_dataclass
 from typing import Any, Iterable, Sequence
 
 from repro.obs.observer import Observer, capture
@@ -100,6 +106,25 @@ PHASE_OF_KIND = {
     "SnapshotOffer": "snapshot",
     "SnapshotAck": "snapshot",
 }
+
+
+def _json_value(value: Any) -> Any:
+    """Project a decided value into JSON-serializable form.
+
+    Decided values are protocol payloads: plain strings most of the
+    time, but multi-command ``Batch`` dataclasses under batching.
+    Dataclasses become ``{field: ...}`` dicts (deterministic field
+    order), sequences recurse, and anything else falls back to
+    ``repr`` so the document never fails to serialize.
+    """
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_value(item) for item in value]
+    if is_dataclass(value) and not isinstance(value, type):
+        return {spec.name: _json_value(getattr(value, spec.name))
+                for spec in fields(value)}
+    return repr(value)
 
 
 class RunRecorder(Observer):
@@ -262,13 +287,18 @@ class RunReport:
         Width (simulated seconds) of the trailing busy-link census.
     wall_s:
         Optional wall-clock of the run; lands in ``meta``.
+    workload:
+        Optional backpressure counters (shed, queue high-water,
+        batch-size histogram) from a client-load run; lands in the
+        additive ``workload`` block.
     """
 
     def __init__(self, kind: str, target: str, params: dict[str, Any],
                  verdict: Verdict, sim: Any,
                  networks: Sequence[tuple[str, Any]],
                  census_window: float = 20.0,
-                 wall_s: float | None = None) -> None:
+                 wall_s: float | None = None,
+                 workload: dict[str, Any] | None = None) -> None:
         if kind not in ("scenario", "bench", "soak"):
             raise ValueError(f"unknown report kind {kind!r}")
         self.kind = kind
@@ -279,6 +309,7 @@ class RunReport:
         self.networks = list(networks)
         self.census_window = census_window
         self.wall_s = wall_s
+        self.workload = workload
 
     def _recorders(self) -> list[RunRecorder]:
         out = []
@@ -380,7 +411,7 @@ class RunReport:
                 {"time": round(t, 6), "pid": pid, "leader": leader}
                 for (t, pid, leader) in timeline],
             "decides": [
-                {"time": round(t, 6), "pid": pid, "value": value}
+                {"time": round(t, 6), "pid": pid, "value": _json_value(value)}
                 for (t, pid, value) in decides],
             "crashes": [{"time": round(t, 6), "pid": pid}
                         for (t, pid) in crashes],
@@ -401,6 +432,8 @@ class RunReport:
             "networks": [self._network_block(label, network)
                          for label, network in self.networks],
         }
+        if self.workload:
+            document["workload"] = dict(self.workload)
         if self.wall_s is not None:
             import datetime as _datetime
             document["meta"] = {
@@ -468,8 +501,13 @@ def bench_case_report(case: Any, wall_s: float | None = None) -> RunReport:
             **case.params)
     verdict = verdict.merge(Verdict.passed(**details))
     networks = [("cluster", network) for network in cluster.networks]
+    # E19 load rows carry replica-side backpressure counters (batching
+    # rows nest the measured side under "batched").
+    workload = (details.get("queue")
+                or (details.get("batched") or {}).get("queue"))
     return RunReport("bench", case.case_id, dict(case.params), verdict,
-                     cluster.sim, networks, wall_s=wall_s)
+                     cluster.sim, networks, wall_s=wall_s,
+                     workload=workload)
 
 
 def soak_case_report(case: Any, wall_s: float | None = None) -> RunReport:
@@ -537,6 +575,8 @@ def validate_report(document: dict[str, Any]) -> list[str]:
                             f"got {type(document[key]).__name__}")
     if problems:
         return problems
+    if "workload" in document and not isinstance(document["workload"], dict):
+        problems.append("workload must be dict when present")
     if document["kind"] not in ("scenario", "bench", "soak"):
         problems.append(f"kind {document['kind']!r} not one of "
                         "scenario/bench/soak")
@@ -667,6 +707,15 @@ def render_report_text(document: dict[str, Any]) -> str:
                      + (f" ({finals})" if finals else "")
                      + f"  storage syncs ok={storage.get('syncs_ok', 0)}"
                      f" failed={storage.get('syncs_failed', 0)}")
+
+    workload = document.get("workload")
+    if workload:
+        sizes = workload.get("batch_sizes") or {}
+        histogram = "  ".join(f"{size}×{count}"
+                              for size, count in sizes.items())
+        lines.append(f"  workload: shed={workload.get('shed', 0)}  "
+                     f"max_queue_depth={workload.get('max_queue_depth', 0)}"
+                     + (f"  batch sizes: {histogram}" if histogram else ""))
 
     timeline = document["leader_timeline"]
     if timeline:

@@ -23,7 +23,7 @@ simulation's event schedule depends on it.
 
 from __future__ import annotations
 
-from dataclasses import fields
+from dataclasses import fields, is_dataclass
 
 __all__ = ["DEFAULT_MTU", "int_size", "field_size", "wire_size",
            "broadcast_cost",
@@ -64,6 +64,12 @@ def field_size(value: object) -> int:
     if isinstance(value, dict):
         return 1 + sum(field_size(k) + field_size(v)
                        for k, v in value.items())
+    if is_dataclass(value) and not isinstance(value, type):
+        # Nested payload dataclasses (e.g. a multi-command Batch inside
+        # a Propose/Decide) cost a 1-byte tag plus their fields, same as
+        # a top-level message.
+        return 1 + sum(field_size(getattr(value, spec.name))
+                       for spec in fields(value))
     raise TypeError(
         f"no wire-size rule for field of type {type(value).__name__}")
 

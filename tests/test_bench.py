@@ -178,6 +178,52 @@ class TestCompareReports:
         assert reverse["added"] == [dropped["case_id"]]
 
 
+class TestE19LoadRows:
+    @pytest.fixture(scope="class")
+    def results(self) -> list[dict]:
+        cases = bench.default_suite(seed=7, experiments=("e19",), quick=True)
+        return bench.run_suite(cases, jobs=1)
+
+    def test_quick_suite_shape(self) -> None:
+        ids = {c.case_id for c in
+               bench.default_suite(seed=7, experiments=("e19",), quick=True)}
+        assert ids == {"e19/batching/n=5", "e19/sharded/groups=4/n=5"}
+        default_ids = {c.case_id for c in
+                       bench.default_suite(seed=7, experiments=("e19",))}
+        assert {"e19/open/n=5", "e19/closed/n=5", "e19/batching/n=5",
+                "e19/sharded/groups=4/n=5",
+                "e19/compaction/n=5"} == default_ids
+
+    def test_rows_pass_and_carry_percentiles(self,
+                                             results: list[dict]) -> None:
+        for row in results:
+            assert row["ok"], row["verdict"]
+            latency = row["result"]["latency_s"]
+            assert latency["p50"] <= latency["p95"] <= latency["p99"]
+            assert row["result"]["throughput_cps"] > 0
+
+    def test_batching_row_beats_its_control(self,
+                                            results: list[dict]) -> None:
+        batching = next(r for r in results
+                        if r["case_id"] == "e19/batching/n=5")
+        details = batching["result"]
+        assert details["speedup"] > 1.0
+        assert details["batched"]["throughput_cps"] \
+            > details["control"]["throughput_cps"]
+
+    def test_latency_drift_rows_in_compare(self, results: list[dict]) -> None:
+        report = bench.build_report(results, seed=7, jobs=1, suite="load",
+                                    wall_s=0.1)
+        diff = bench.compare_reports(report, report)
+        assert diff["ok"]
+        assert diff["latency"]
+        by_case = {(row["case_id"], row["quantile"]) for row in
+                   diff["latency"]}
+        assert ("e19/batching/n=5", "p50") in by_case
+        assert all(row["ratio"] == pytest.approx(1.0)
+                   for row in diff["latency"])
+
+
 class TestCliFilterAndCompare:
     ARGV = ["bench", "--quick", "--jobs", "1",
             "--experiments", "e1", "--seed", "7"]

@@ -9,7 +9,7 @@ from repro.consensus import (
     ConsensusSystem,
     JournalMachine,
     KeyValueStore,
-    LogWorkload,
+    WorkloadSpec,
     SnapshotAck,
     SnapshotOffer,
     check_compacting_log,
@@ -83,7 +83,7 @@ class TestApplicationOnCommit:
 class TestCompaction:
     def test_log_is_bounded(self) -> None:
         system = build_system(keep_tail=8)
-        LogWorkload(system, count=60, period=0.3, start=4.0)
+        WorkloadSpec(count=60, period=0.3, start=4.0).build(system)
         system.start_all()
         system.run_until(200.0)
         for pid in system.up_pids():
@@ -93,7 +93,7 @@ class TestCompaction:
 
     def test_floor_advances_with_commits(self) -> None:
         system = build_system(keep_tail=8)
-        workload = LogWorkload(system, count=40, period=0.3, start=4.0)
+        workload = WorkloadSpec(count=40, period=0.3, start=4.0).build(system)
         system.start_all()
         system.run_until(200.0)
         report = check_compacting_log(system, workload.submitted)
@@ -104,7 +104,7 @@ class TestCompaction:
 
     def test_all_replicas_converge(self) -> None:
         system = build_system()
-        workload = LogWorkload(system, count=50, period=0.3, start=4.0)
+        workload = WorkloadSpec(count=50, period=0.3, start=4.0).build(system)
         system.start_all()
         system.run_until(250.0)
         assert workload.done()
@@ -117,7 +117,7 @@ class TestCompaction:
 class TestSnapshotTransfer:
     def test_partitioned_laggard_catches_up_via_snapshot(self) -> None:
         system = build_system(keep_tail=8, seed=9)
-        workload = LogWorkload(system, count=80, period=0.4, start=4.0)
+        workload = WorkloadSpec(count=80, period=0.4, start=4.0).build(system)
         for network in (system.agreement_network, system.fd_network):
             network.add_partition(10.0, 50.0, [{0, 1, 2, 3}, {4}])
         system.start_all()
@@ -132,7 +132,7 @@ class TestSnapshotTransfer:
 
     def test_crashed_debtor_gets_bounded_offers(self) -> None:
         system = build_system(keep_tail=8, seed=7)
-        LogWorkload(system, count=40, period=0.3, start=4.0)
+        WorkloadSpec(count=40, period=0.3, start=4.0).build(system)
         CrashPlan.crash_at((10.0, 3)).schedule(system)
         system.start_all()
         system.run_until(100.0)

@@ -5,7 +5,7 @@ from __future__ import annotations
 from repro.consensus import (
     ConsensusSystem,
     LogReplica,
-    LogWorkload,
+    WorkloadSpec,
     check_log,
 )
 from repro.sim import CrashPlan, LinkTimings
@@ -23,7 +23,7 @@ def build(n: int = 5, seed: int = 1, sources: tuple[int, ...] = (1,),
 class TestHappyPath:
     def test_commands_commit_everywhere(self) -> None:
         system = build()
-        workload = LogWorkload(system, count=20, period=0.5, start=5.0)
+        workload = WorkloadSpec(count=20, period=0.5, start=5.0).build(system)
         system.start_all()
         system.run_until(120.0)
         report = check_log(system, workload.submitted)
@@ -33,7 +33,7 @@ class TestHappyPath:
 
     def test_every_command_exactly_once_in_state_machine(self) -> None:
         system = build(seed=2)
-        workload = LogWorkload(system, count=15, period=0.5, start=5.0)
+        workload = WorkloadSpec(count=15, period=0.5, start=5.0).build(system)
         system.start_all()
         system.run_until(120.0)
         for pid in system.up_pids():
@@ -44,7 +44,7 @@ class TestHappyPath:
 
     def test_logs_are_prefix_consistent_midway(self) -> None:
         system = build(seed=3)
-        LogWorkload(system, count=30, period=0.3, start=5.0)
+        WorkloadSpec(count=30, period=0.3, start=5.0).build(system)
         system.start_all()
         system.run_until(25.0)  # mid-flight on purpose
         prefixes = {}
@@ -71,7 +71,7 @@ class TestHappyPath:
 class TestLeaderCrash:
     def test_failover_preserves_log(self) -> None:
         system = build(sources=(1, 2), seed=5)
-        workload = LogWorkload(system, count=30, period=0.5, start=5.0)
+        workload = WorkloadSpec(count=30, period=0.5, start=5.0).build(system)
         system.start_all()
         system.run_until(15.0)
         leader = system.node(3).omega.leader()
@@ -89,7 +89,7 @@ class TestLeaderCrash:
         # A new leader must be able to fill gaps it inherits; run a
         # takeover-heavy schedule and just assert logs agree at the end.
         system = build(sources=(1, 2), seed=6)
-        workload = LogWorkload(system, count=25, period=0.4, start=5.0)
+        workload = WorkloadSpec(count=25, period=0.4, start=5.0).build(system)
         CrashPlan.crash_at((12.0, 1)).schedule(system)
         system.start_all()
         system.run_until(400.0)
@@ -101,7 +101,7 @@ class TestLeaderCrash:
 class TestCommunicationPattern:
     def test_steady_state_uses_leader_adjacent_links_only(self) -> None:
         system = build(seed=7)
-        LogWorkload(system, count=10, period=0.5, start=5.0)
+        WorkloadSpec(count=10, period=0.5, start=5.0).build(system)
         system.start_all()
         system.run_until(150.0)
         leader = system.node(0).omega.leader()

@@ -6,7 +6,7 @@ import pytest
 
 from conftest import Probe, Recorder, make_pair
 
-from repro.consensus import ConsensusSystem, LogWorkload, check_log
+from repro.consensus import ConsensusSystem, WorkloadSpec, check_log
 from repro.core import OmegaConfig, analyze_omega_run, make_factory
 from repro.sim import Cluster, LinkTimings
 from repro.sim.engine import Simulation
@@ -122,7 +122,7 @@ class TestConsensusAcrossPartitions:
         timings = LinkTimings(gst=2.0)
         system = ConsensusSystem.build_replicated_log(
             5, lambda: multi_source_links(5, (0, 1), timings), seed=3)
-        workload = LogWorkload(system, count=20, period=0.5, start=4.0)
+        workload = WorkloadSpec(count=20, period=0.5, start=4.0).build(system)
         # Fragment into minorities: no quorum anywhere for 30s, on both
         # the agreement and the failure-detector network.
         for network in (system.agreement_network, system.fd_network):
@@ -143,7 +143,7 @@ class TestConsensusAcrossPartitions:
         timings = LinkTimings(gst=2.0)
         system = ConsensusSystem.build_replicated_log(
             4, lambda: multi_source_links(4, (0, 2), timings), seed=4)
-        workload = LogWorkload(system, count=10, period=0.5, start=3.0)
+        workload = WorkloadSpec(count=10, period=0.5, start=3.0).build(system)
         for network in (system.agreement_network, system.fd_network):
             network.add_partition(8.0, 30.0, [{0, 1}, {2, 3}])
         system.start_all()

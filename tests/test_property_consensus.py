@@ -17,7 +17,7 @@ from repro.consensus import (
     SingleDecreeConsensus,
     check_log,
     check_single_decree,
-    LogWorkload,
+    WorkloadSpec,
 )
 from repro.sim import CrashPlan, LinkTimings
 from repro.sim.cluster import Cluster
@@ -87,7 +87,7 @@ class TestReplicatedLogSafety:
                                          crash_time: float) -> None:
         system = ConsensusSystem.build_replicated_log(
             4, lambda: source_links(4, 1, FAST), seed=seed)
-        workload = LogWorkload(system, count=12, period=0.7, start=2.0)
+        workload = WorkloadSpec(count=12, period=0.7, start=2.0).build(system)
         CrashPlan.crash_at((crash_time, victim)).schedule(system)
         system.start_all()
         system.run_until(250.0)

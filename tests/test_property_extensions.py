@@ -12,7 +12,7 @@ from conftest import Probe
 from repro.consensus import (
     ConsensusSystem,
     JournalMachine,
-    LogWorkload,
+    WorkloadSpec,
     check_compacting_log,
 )
 from repro.core import analyze_omega_run, make_factory, OmegaConfig
@@ -123,7 +123,7 @@ class TestCompactionSafetyProperties:
         system = ConsensusSystem.build_compacting_log(
             5, lambda: multi_source_links(5, (1, 2), FAST),
             machine_factory=JournalMachine, keep_tail=keep_tail, seed=seed)
-        workload = LogWorkload(system, count=25, period=0.5, start=3.0)
+        workload = WorkloadSpec(count=25, period=0.5, start=3.0).build(system)
         CrashPlan.crash_at((crash_time, victim)).schedule(system)
         system.start_all()
         system.run_until(300.0)

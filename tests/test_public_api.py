@@ -46,6 +46,30 @@ class TestExports:
         assert repro.__version__
 
 
+class TestLoadSurface:
+    """The PR-9 additions ride the same top-level re-export contract."""
+
+    def test_new_names_exported(self) -> None:
+        for name in ("WorkloadSpec", "WorkloadOutcome", "Batch",
+                     "ShardedLog", "LoadSpec", "LoadRun", "LoadOutcome",
+                     "ClientFleet", "ZipfSampler"):
+            assert name in repro.__all__
+            assert hasattr(repro, name)
+
+    def test_deprecated_shim_still_exported(self) -> None:
+        # LogWorkload stays importable for one release (shim policy).
+        assert "LogWorkload" in repro.__all__
+        assert hasattr(repro, "LogWorkload")
+
+    def test_spec_types_are_frozen(self) -> None:
+        import dataclasses
+
+        for cls in (repro.WorkloadSpec, repro.LoadSpec, repro.Batch):
+            params = getattr(cls, "__dataclass_params__")
+            assert params.frozen, f"{cls.__name__} must be frozen"
+            assert dataclasses.is_dataclass(cls)
+
+
 class TestDocstrings:
     @pytest.mark.parametrize("module_name", public_modules())
     def test_module_docstring(self, module_name: str) -> None:

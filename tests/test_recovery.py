@@ -29,7 +29,7 @@ from repro.sim import Cluster, FaultPlan, Simulation
 from repro.sim.network import Network
 from repro.sim.process import ProcessError
 from repro.sim.topology import all_timely_links, apply_links, source_links
-from repro.consensus import ConsensusSystem, LogWorkload, check_log, \
+from repro.consensus import ConsensusSystem, WorkloadSpec, check_log, \
     check_single_decree
 
 
@@ -238,7 +238,7 @@ class TestPersistedConsensus:
         system = ConsensusSystem.build_replicated_log(
             3, lambda: source_links(3, 0), omega_name="crash-recovery",
             seed=5, persist=True)
-        workload = LogWorkload(system, count=8, period=1.0, start=1.0)
+        workload = WorkloadSpec(count=8, period=1.0, start=1.0).build(system)
         FaultPlan.crashes_at((3.0, 2, 10.0)).schedule(system)
         system.start_all()
         system.run_until(120.0)
