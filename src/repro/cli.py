@@ -24,6 +24,9 @@ Examples
     python -m repro report bench --case-id e2/comm-efficient/n=8
     python -m repro report soak --seed 7 --case 12 --out report.json
     python -m repro live run --n 3 --horizon 3 --consensus
+    python -m repro live run --n 3 --horizon 8 --log --persist --workload 10
+    python -m repro live soak --quick
+    python -m repro live soak --cases 1 --seed 7 --bench-out live-bench.json
     python -m repro live crossval --n 3 --horizon 3
     python -m repro live serve --port 8642
 
@@ -625,20 +628,35 @@ def cmd_live_run(args: argparse.Namespace) -> int:
     import json
     import tempfile
 
-    from repro.live import LiveCluster, LiveClusterSpec
+    from repro.live import ControlError, LiveCluster, LiveClusterSpec
     from repro.obs import render_report_text, validate_report
 
     try:
         spec = LiveClusterSpec(
             n=args.n, algorithm=args.algorithm, eta=args.eta,
             initial_timeout=args.initial_timeout, horizon=args.horizon,
-            seed=args.seed, consensus=args.consensus, faults=args.faults)
+            seed=args.seed, consensus=args.consensus, faults=args.faults,
+            log=args.log, persist=args.persist, workload=args.workload)
     except ValueError as error:
         raise SystemExit(str(error))
     rundir = args.rundir or tempfile.mkdtemp(prefix="repro-live-")
-    outcome = LiveCluster(spec, rundir).run()
+    try:
+        outcome = LiveCluster(spec, rundir).run()
+    except ControlError as error:
+        print(f"live run failed: {error}")
+        print(f"node logs in {rundir}")
+        return 1
     document = outcome.document
     print(render_report_text(document))
+    workload = document.get("workload")
+    if workload:
+        latency = workload.get("latency_s") or {}
+        quantiles = "  ".join(
+            f"{key}={latency[key]:.3f}s" for key in ("p50", "p95", "p99")
+            if latency.get(key) is not None)
+        print(f"\nworkload: {workload['committed']}"
+              f"/{workload['submitted']} committed"
+              + (f"  {quantiles}" if quantiles else ""))
     print(f"\nnode logs and reports in {rundir}")
     problems = validate_report(document)
     if args.out:
@@ -652,6 +670,62 @@ def cmd_live_run(args: argparse.Namespace) -> int:
             print(f"  {problem}")
         return 1
     return 0 if outcome.verdict.ok else 1
+
+
+def cmd_live_soak(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.harness.soak import campaign_digest
+    from repro.live.chaos import (
+        live_bench_cases,
+        live_soak,
+        sample_live_case,
+    )
+
+    if args.quick:
+        cases = args.cases if args.cases is not None else 4
+    else:
+        cases = args.cases if args.cases is not None else 6
+    if cases < 1:
+        raise SystemExit(f"--cases must be >= 1, got {cases}")
+    if args.horizon < 7.0:
+        raise SystemExit(f"--horizon must be >= 7.0 so sampled fault plans "
+                         f"fit and heal before the deadline, got {args.horizon}")
+    sampled = [sample_live_case(args.seed, index, horizon=args.horizon)
+               for index in range(cases)]
+    started = time.monotonic()
+    results = live_soak(cases=cases, soak_seed=args.seed,
+                        outdir=(args.outdir or None),
+                        only=tuple(args.case), horizon=args.horizon,
+                        stop_on_failure=args.stop_on_failure)
+    wall = time.monotonic() - started
+    if args.case and not results:
+        raise SystemExit(f"--case indices {args.case} outside "
+                         f"--cases {cases}")
+    marks = {"ok": "ok  ", "fail": "FAIL", "model-violation": "OOM ",
+             "timeout": "TIME"}
+    failures = 0
+    for result in results:
+        print(f"{marks[result.status]} {result.case.describe()} "
+              f"-- {result.detail}")
+        if not result.ok:
+            failures += 1
+    digest = campaign_digest(sampled)
+    print(f"\n{len(results) - failures}/{len(results)} live campaigns ok "
+          f"(seed={args.seed}, wall={wall:.1f}s)")
+    print(f"campaign digest: {digest}")
+    if args.bench_out or args.compare:
+        from repro.harness.bench import build_report, report_to_json
+        report = build_report(live_bench_cases(results), seed=args.seed,
+                              jobs=1, suite="live-soak", wall_s=wall)
+        if args.bench_out:
+            with open(args.bench_out, "w") as handle:
+                handle.write(report_to_json(report))
+            print(f"bench report written to {args.bench_out}")
+        if args.compare:
+            _print_compare(report, args.compare)
+    return 1 if failures else 0
 
 
 def cmd_live_node(args: argparse.Namespace) -> int:
@@ -948,8 +1022,49 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="spawn a node per pid on loopback UDP, run to the "
                     "horizon, merge and judge the reports")
     _live_scenario_args(lrun)
+    lrun.add_argument("--log", action="store_true",
+                      help="run a replicated log on the agreement plane "
+                           "instead of single-decree consensus")
+    lrun.add_argument("--persist", action="store_true",
+                      help="back each replica with file-based stable "
+                           "storage (crash→respawn recovers from disk)")
+    lrun.add_argument("--workload", type=int, default=0, metavar="N",
+                      help="drive N client commands through the nodes' "
+                           "submit op (needs --log)")
     lrun.add_argument("--out", default="", help="also write JSON here")
     lrun.set_defaults(handler=cmd_live_run)
+
+    lsoak = live_sub.add_parser(
+        "soak", help="supervised live soak campaign: the protocol zoo "
+                     "(omega, consensus, persistent replicated log + "
+                     "client load) under sampled crash/netem plans, "
+                     "every run judged and replayable")
+    lsoak.add_argument("--cases", type=int, default=None, metavar="N",
+                       help="campaign size (default 6; 4 with --quick)")
+    lsoak.add_argument("--quick", action="store_true",
+                       help="CI-sized campaign: 4 cases covering all "
+                            "stacks incl. the persistent log")
+    lsoak.add_argument("--seed", type=int, default=0)
+    lsoak.add_argument("--horizon", type=float, default=15.0,
+                       help="wall seconds each case runs")
+    lsoak.add_argument("--case", type=int, action="append", default=[],
+                       metavar="I",
+                       help="replay only case index I (repeatable); "
+                            "sampling is unchanged, so plans are "
+                            "byte-identical to the full campaign")
+    lsoak.add_argument("--outdir", default="",
+                       help="root directory for per-case rundirs "
+                            "(default: a fresh temp dir)")
+    lsoak.add_argument("--bench-out", default="", metavar="FILE",
+                       help="write a repro-bench/v1 report with live "
+                            "commit-latency percentiles")
+    lsoak.add_argument("--compare", default="", metavar="OLD.json",
+                       help="diff this campaign's bench report against "
+                            "a previous one (sim or live): verdict "
+                            "drift plus per-percentile commit-latency "
+                            "drift for shared case ids")
+    lsoak.add_argument("--stop-on-failure", action="store_true")
+    lsoak.set_defaults(handler=cmd_live_soak)
 
     lnode = live_sub.add_parser(
         "node", help="one node of a live cluster (spawned by 'live run'; "

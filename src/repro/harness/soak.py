@@ -56,6 +56,7 @@ import hashlib
 import random
 import time
 from dataclasses import dataclass
+from typing import Protocol, Sequence
 
 from repro.consensus import ConsensusSystem, WorkloadSpec, check_log, \
     check_single_decree
@@ -450,11 +451,20 @@ def recovery_control_case(persist: bool = False) -> tuple[bool, str]:
     return agreement, f"decisions {decided}"
 
 
-def campaign_digest(cases: list[SoakCase]) -> str:
+class Describable(Protocol):
+    """Anything with a one-line repro ``describe()`` (soak case shape)."""
+
+    def describe(self) -> str: ...
+
+
+def campaign_digest(cases: Sequence[Describable]) -> str:
     """Short stable hash over the campaign's repro lines.
 
     Two soak runs with the same ``(seed, case count)`` must print the
-    same digest; a mismatch means determinism broke somewhere.
+    same digest; a mismatch means determinism broke somewhere.  Duck-
+    typed over anything with a one-line ``describe()`` — sim
+    :class:`SoakCase` and :class:`repro.live.chaos.LiveSoakCase` alike —
+    so sim and live campaigns share one digest convention.
     """
     payload = "\n".join(case.describe() for case in cases)
     return hashlib.sha256(payload.encode()).hexdigest()[:16]

@@ -42,27 +42,54 @@ UDP on localhost (or any reachable interface):
     in-sim, judge both with the existing checkers, and diff the
     verdicts and leader timelines.
 
+:mod:`repro.live.storage`
+    :class:`FileStorage` — stable storage whose durable map survives
+    SIGKILL (atomic snapshot file), so live crash→respawn goes through
+    real storage-backed recovery.
+
+:mod:`repro.live.chaos`
+    Supervised soak campaigns (``python -m repro live soak``): the
+    protocol zoo under sampled, replayable crash/netem fault plans,
+    every run judged through the standard Verdict machinery.
+
 See ``docs/TRANSPORT.md`` for the transport contract and the
 quickstart.
 """
 
-from repro.live.cluster import LiveCluster, LiveClusterSpec
+from repro.live.chaos import (
+    LiveSoakCase,
+    LiveSoakResult,
+    live_soak,
+    run_live_case,
+    sample_live_case,
+)
+from repro.live.cluster import ControlError, LiveCluster, LiveClusterSpec
 from repro.live.codec import decode_frame, encode_frame, registered_kinds
 from repro.live.crossval import cross_validate
 from repro.live.report import analyze_live_run, merged_live_report
-from repro.live.runtime import LiveClock
+from repro.live.runtime import Backoff, Deadline, LiveClock
+from repro.live.storage import FileStorage
 from repro.live.transport import LinkWindow, LiveTransport
 
 __all__ = [
+    "Backoff",
+    "ControlError",
+    "Deadline",
+    "FileStorage",
     "LiveClock",
     "LiveCluster",
     "LiveClusterSpec",
+    "LiveSoakCase",
+    "LiveSoakResult",
     "LiveTransport",
     "LinkWindow",
     "analyze_live_run",
     "cross_validate",
     "decode_frame",
     "encode_frame",
+    "live_soak",
     "merged_live_report",
     "registered_kinds",
+    "run_live_case",
+    "sample_live_case",
 ]

@@ -43,6 +43,7 @@ from typing import Any
 
 from repro.consensus import messages as _consensus_messages
 from repro.consensus.messages import Ballot
+from repro.consensus.replica import Batch
 from repro.core import messages as _core_messages
 from repro.sim.messages import Message
 
@@ -63,7 +64,18 @@ MAX_FRAME = 64 * 1024
 
 
 class CodecError(ValueError):
-    """Raised on malformed frames or unregistered message kinds."""
+    """Raised on malformed frames or unregistered message kinds.
+
+    ``reason`` is a short drop-reason tag (``oversized_frame``,
+    ``truncated_frame``, ``unknown_kind``, or the generic
+    ``corrupt_frame``) so the datagram handler can account the drop
+    under a precise key instead of raising into the event loop.
+    """
+
+    def __init__(self, message: str, *,
+                 reason: str = "corrupt_frame") -> None:
+        super().__init__(message)
+        self.reason = reason
 
 
 # ----------------------------------------------------------------------
@@ -116,6 +128,9 @@ _register_module(_consensus_messages)
 def _encode_value(value: Any) -> Any:
     if isinstance(value, Ballot):
         return {"$b": [value.round, value.proposer]}
+    if isinstance(value, Batch):
+        # Multi-command log slots (replicated log, batch_size > 1).
+        return {"$B": [_encode_value(item) for item in value.entries]}
     if isinstance(value, tuple):
         return {"$t": [_encode_value(item) for item in value]}
     if isinstance(value, list):
@@ -132,6 +147,8 @@ def _decode_value(value: Any) -> Any:
     if isinstance(value, dict):
         if "$b" in value:
             return Ballot(*value["$b"])
+        if "$B" in value:
+            return Batch(tuple(_decode_value(item) for item in value["$B"]))
         if "$t" in value:
             return tuple(_decode_value(item) for item in value["$t"])
         if "$d" in value:
@@ -176,14 +193,15 @@ def decode_frame(data: bytes) -> tuple[Message, int, float]:
     """
     if len(data) < _LENGTH.size:
         raise CodecError(f"frame shorter than its length prefix "
-                         f"({len(data)} bytes)")
+                         f"({len(data)} bytes)", reason="truncated_frame")
     (length,) = _LENGTH.unpack_from(data)
     if length > MAX_FRAME:
-        raise CodecError(f"frame length {length} exceeds MAX_FRAME")
+        raise CodecError(f"frame length {length} exceeds MAX_FRAME",
+                         reason="oversized_frame")
     body = data[_LENGTH.size:]
     if len(body) != length:
         raise CodecError(f"frame length prefix says {length} bytes, "
-                         f"got {len(body)}")
+                         f"got {len(body)}", reason="truncated_frame")
     try:
         document = json.loads(body)
     except ValueError as error:
@@ -198,7 +216,8 @@ def decode_frame(data: bytes) -> tuple[Message, int, float]:
     cls = _REGISTRY.get(kind)
     if cls is None:
         raise CodecError(f"unregistered message kind {kind!r}; "
-                         f"known: {registered_kinds()}")
+                         f"known: {registered_kinds()}",
+                         reason="unknown_kind")
     try:
         message = cls(**{name: _decode_value(value)
                          for name, value in raw_fields.items()})

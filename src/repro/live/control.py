@@ -118,9 +118,10 @@ class _ClusterHandle:
         return {"ok": False, "error": f"unknown fault op {op!r}"}
 
     def destroy(self) -> None:
-        for proc in self.cluster._procs.values():
-            if proc.poll() is None:
-                proc.kill()
+        # Full teardown, not a bare kill: SIGCONTs paused processes
+        # (a SIGSTOPped child is killed but never reaped otherwise)
+        # and waits on every child, so DELETE leaves no orphans.
+        self.cluster.teardown()
 
 
 class ControlPlane:

@@ -13,16 +13,35 @@ delimited JSON over TCP on localhost) so the cluster harness and the
 HTTP control plane can reach inside:
 
 ``{"op": "status"}``
-    → ``{"pid", "now", "incarnation", "leader", "decision"}``.
+    → ``{"pid", "now", "incarnation", "leader", "decision"}`` (plus
+    ``commit_index``/``committed`` on a replicated-log node).
 
 ``{"op": "degrade", "plane": "fd"|"agreement"|"both", "duration": s,
 "pairs": [[src, dst], ...], "loss": p, "extra_delay": s,
-"duplicate": p}``
+"duplicate": p, "delay": s, "jitter": s, "dist": "uniform"|"pareto",
+"reorder": p, "rate": fps}``
     Overlay a :class:`~repro.live.transport.LinkWindow` starting now —
-    the live form of the nemesis ``degrade``/``flap``/``dup`` faults.
+    the live form of the nemesis ``degrade``/``flap``/``dup``/``netem``
+    faults (the netem fields default to off).
+
+``{"op": "submit", "id": [client, seq], "command": ...}``
+    Replicated-log nodes only: hand a client command to this replica
+    (at-least-once ids, exactly the :mod:`repro.load` convention).  The
+    submit instant is recorded on the node's own clock, and the first
+    commit of the id stamps its end-to-end latency — so the percentiles
+    in the report are measured on one clock, not across process epochs.
 
 ``{"op": "stop"}``
     Finish early: write the node report and exit cleanly.
+
+With ``log: true`` in the spec the agreement plane runs a
+:class:`~repro.consensus.replica.LogReplica` instead of single-decree
+consensus; ``persist: true`` attaches a
+:class:`~repro.live.storage.FileStorage` at ``storage_path`` (stable
+across incarnations), and a respawned node (``incarnation`` > 0)
+restores its promise, accepted map, and learned log from that snapshot
+before starting — the live crash→SIGKILL→respawn path goes through
+real storage-backed recovery.
 
 At the horizon (or on ``stop`` / SIGTERM) the node writes its **node
 report** — leader history, decision, clock counters, and the serialized
@@ -41,12 +60,15 @@ from dataclasses import asdict, dataclass, field
 from typing import Any
 
 from repro.consensus.config import ConsensusConfig
+from repro.consensus.replica import LogReplica, entry_commands
 from repro.consensus.single import SingleDecreeConsensus
 from repro.core.config import OmegaConfig
 from repro.core.registry import make_factory
 from repro.live.runtime import LiveClock
+from repro.live.storage import FileStorage
 from repro.live.transport import LiveTransport
 from repro.live.report import recorder_to_json
+from repro.obs.observer import Observer
 from repro.obs.report import RunRecorder
 
 __all__ = ["NodeSpec", "run_node"]
@@ -55,6 +77,13 @@ __all__ = ["NodeSpec", "run_node"]
 def _endpoint_map(raw: dict[str, Any]) -> dict[int, tuple[str, int]]:
     return {int(pid): (host, int(port))
             for pid, (host, port) in raw.items()}
+
+
+def _command_id(raw: Any) -> Any:
+    """A hashable command id from its JSON form (lists become tuples)."""
+    if isinstance(raw, list):
+        return tuple(_command_id(item) for item in raw)
+    return raw
 
 
 @dataclass
@@ -84,6 +113,10 @@ class NodeSpec:
     proposal: Any = None
     tick: float = 0.25
     ag_endpoints: dict[int, tuple[str, int]] = field(default_factory=dict)
+    log: bool = False
+    persist: bool = False
+    storage_path: str = ""
+    batch_size: int = 1
 
     @classmethod
     def from_json(cls, document: dict[str, Any]) -> "NodeSpec":
@@ -104,6 +137,30 @@ class NodeSpec:
         return document
 
 
+class _LatencyWatch(Observer):
+    """Per-command commit latency, submit and decide on one clock.
+
+    ``note_submit`` stamps the first submit of an id; ``on_decide``
+    (the replicated log dispatches ``(instance, entry)`` decisions)
+    stamps the first commit.  The difference is an exact end-to-end
+    latency because both reads come from the same node-local clock.
+    """
+
+    def __init__(self) -> None:
+        self.submitted_at: dict[Any, float] = {}
+        self.latencies: dict[Any, float] = {}
+
+    def note_submit(self, command_id: Any, now: float) -> None:
+        self.submitted_at.setdefault(command_id, now)
+
+    def on_decide(self, time: float, pid: int, value: Any) -> None:
+        _instance, entry = value
+        for command_id, _command in entry_commands(entry):
+            started = self.submitted_at.get(command_id)
+            if started is not None and command_id not in self.latencies:
+                self.latencies[command_id] = time - started
+
+
 class _Node:
     """The running node: protocol stack + control channel + report."""
 
@@ -114,6 +171,8 @@ class _Node:
         self.ag: LiveTransport | None = None
         self.omega = None
         self.consensus: SingleDecreeConsensus | None = None
+        self.replica: LogReplica | None = None
+        self.latency = _LatencyWatch()
         self._stop = asyncio.Event()
 
     # -- lifecycle ------------------------------------------------------
@@ -132,11 +191,37 @@ class _Node:
         self.omega = factory(spec.pid, self.clock, self.fd)
         self.omega.incarnation = spec.incarnation
         self.omega.start()
-        if spec.consensus:
+        if spec.consensus or spec.log:
+            ag_observers: tuple = (RunRecorder(),)
+            if spec.log:
+                # Only the replicated log dispatches (instance, entry)
+                # decisions the latency watch can unpack.
+                ag_observers += (self.latency,)
             self.ag = LiveTransport(
                 self.clock, spec.ag_endpoints, {spec.pid},
-                observers=(RunRecorder(),), seed=spec.seed + spec.pid + 1)
+                observers=ag_observers, seed=spec.seed + spec.pid + 1)
             await self.ag.open()
+        if spec.log:
+            self.replica = LogReplica(
+                spec.pid, self.clock, self.ag, spec.n,
+                leader_of=self.omega.leader,
+                config=ConsensusConfig(tick=spec.tick,
+                                       batch_size=spec.batch_size,
+                                       sync_latency=0.0))
+            if spec.persist:
+                if not spec.storage_path:
+                    raise ValueError("persist=True needs a storage_path")
+                self.replica.persist = True
+                self.replica.attach_storage(FileStorage(
+                    spec.pid, self.clock, spec.storage_path,
+                    hub=self.ag.hub))
+            self.replica.incarnation = spec.incarnation
+            if spec.incarnation > 0 and spec.persist:
+                # Respawn after SIGKILL: rebuild promise/accepted/log
+                # from the storage snapshot before joining the ensemble.
+                self.replica.on_recover()
+            self.replica.start()
+        elif spec.consensus:
             self.consensus = SingleDecreeConsensus(
                 spec.pid, self.clock, self.ag, spec.n, spec.proposal,
                 leader_of=self.omega.leader,
@@ -181,7 +266,7 @@ class _Node:
     def _dispatch(self, request: dict[str, Any]) -> dict[str, Any]:
         op = request.get("op")
         if op == "status":
-            return {
+            status = {
                 "ok": True,
                 "pid": self.spec.pid,
                 "now": self.clock.now,
@@ -190,6 +275,10 @@ class _Node:
                 "decision": (self.consensus.decision
                              if self.consensus is not None else None),
             }
+            if self.replica is not None:
+                status["commit_index"] = self.replica.commit_index
+                status["committed"] = len(self.replica.committed_ids)
+            return status
         if op == "degrade":
             pairs = tuple((int(src), int(dst))
                           for src, dst in request.get("pairs", []))
@@ -201,8 +290,21 @@ class _Node:
                         float(request["duration"]), pairs,
                         loss=float(request.get("loss", 0.0)),
                         extra_delay=float(request.get("extra_delay", 0.0)),
-                        duplicate=float(request.get("duplicate", 0.0)))
+                        duplicate=float(request.get("duplicate", 0.0)),
+                        delay=float(request.get("delay", 0.0)),
+                        jitter=float(request.get("jitter", 0.0)),
+                        dist=str(request.get("dist", "uniform")),
+                        reorder=float(request.get("reorder", 0.0)),
+                        rate=float(request.get("rate", 0.0)))
             return {"ok": True}
+        if op == "submit":
+            if self.replica is None:
+                raise ValueError("submit needs a replicated-log node")
+            command_id = _command_id(request["id"])
+            self.latency.note_submit(command_id, self.clock.now)
+            accepted = self.replica.submit(command_id, request["command"])
+            return {"ok": True, "accepted": accepted,
+                    "commit_index": self.replica.commit_index}
         if op == "stop":
             self.clock.loop.call_soon(self._stop.set)
             return {"ok": True}
@@ -234,6 +336,27 @@ class _Node:
                        "received": self.fd.frames_received},
             "planes": planes,
         }
+        if self.replica is not None:
+            storage = self.replica._storage
+            document["log"] = {
+                "commit_index": self.replica.commit_index,
+                # The state machine's view, in commit order — cluster-
+                # side judging compares these across nodes for prefix
+                # consistency and against the submitted set for
+                # liveness.  Ids are JSON lists of their tuple form.
+                "applied_ids": [
+                    list(command_id) if isinstance(command_id, tuple)
+                    else command_id
+                    for entry in self.replica.committed_prefix()
+                    for command_id, _ in entry_commands(entry)],
+                "latencies": [
+                    [list(command_id) if isinstance(command_id, tuple)
+                     else command_id, latency]
+                    for command_id, latency
+                    in sorted(self.latency.latencies.items())],
+                "load": self.replica.load_stats(),
+                "syncs_ok": storage.syncs_ok if storage is not None else 0,
+            }
         with open(self.spec.report_path, "w") as handle:
             json.dump(document, handle)
 

@@ -39,6 +39,9 @@ __all__ = [
     "recorder_from_json",
     "analyze_live_run",
     "consensus_verdict",
+    "log_verdict",
+    "live_latencies",
+    "latency_block",
     "merged_live_report",
 ]
 
@@ -198,6 +201,95 @@ def consensus_verdict(node_reports: Sequence[Mapping[str, Any]],
     if violations:
         return Verdict.failed(*violations, **evidence)
     return Verdict.passed(**evidence)
+
+
+def _as_id(raw: Any) -> Any:
+    """A command id back from its JSON form (lists become tuples)."""
+    if isinstance(raw, list):
+        return tuple(_as_id(item) for item in raw)
+    return raw
+
+
+def log_verdict(node_reports: Sequence[Mapping[str, Any]],
+                submitted_ids: Iterable[Any]) -> Verdict:
+    """Safety and liveness over replicated-log node reports.
+
+    Safety: the applied command sequences of every pair of surviving
+    nodes must be prefix-consistent (one is a prefix of the other — the
+    replicated log's agreement notion; nodes may trail, never diverge).
+    Liveness: every submitted command id must be applied on the most
+    advanced surviving node by the horizon (trailing nodes catch up via
+    the spread phase; a command applied nowhere was lost).
+    """
+    logs = {report["pid"]: report["log"] for report in node_reports
+            if "log" in report}
+    if not logs:
+        return Verdict.failed("no surviving node carried a log block")
+    applied = {pid: [_as_id(item) for item in block.get("applied_ids", [])]
+               for pid, block in logs.items()}
+    violations = []
+    pids = sorted(applied)
+    for index, a in enumerate(pids):
+        for b in pids[index + 1:]:
+            left, right = applied[a], applied[b]
+            short, long = (left, right) if len(left) <= len(right) \
+                else (right, left)
+            if long[:len(short)] != short:
+                violations.append(
+                    f"applied logs of pids {a} and {b} diverge: "
+                    f"{left[:6]}... vs {right[:6]}...")
+    expected = {_as_id(item) for item in submitted_ids}
+    best = max(applied.values(), key=len, default=[])
+    missing = sorted(expected - set(best))
+    if missing:
+        violations.append(
+            f"{len(missing)} of {len(expected)} submitted commands were "
+            f"never committed anywhere: {missing[:5]}...")
+    evidence = {
+        "commit_index": {str(pid): logs[pid].get("commit_index", -1)
+                         for pid in pids},
+        "applied": {str(pid): len(applied[pid]) for pid in pids},
+        "submitted": len(expected),
+    }
+    if violations:
+        return Verdict.failed(*violations, **evidence)
+    return Verdict.passed(**evidence)
+
+
+def live_latencies(
+        node_reports: Sequence[Mapping[str, Any]]) -> dict[Any, float]:
+    """Merged per-command commit latencies across node reports.
+
+    Each node stamps only the commands submitted *to it* (submit and
+    decide read the same node-local clock, so the figures are exact).
+    A retried command may carry a stamp on several nodes; the first
+    accepted submit is the client-visible one, so the largest span —
+    the earliest submit — wins.
+    """
+    merged: dict[Any, float] = {}
+    for report in node_reports:
+        for raw_id, latency in report.get("log", {}).get("latencies", []):
+            command_id = _as_id(raw_id)
+            merged[command_id] = max(merged.get(command_id, 0.0), latency)
+    return merged
+
+
+def latency_block(latencies: Mapping[Any, float]) -> dict[str, float | None]:
+    """The ``repro-bench/v1`` percentile block (``latency_s``) of a run.
+
+    Shape-compatible with the sim load rows
+    (:class:`repro.load.LoadOutcome`), so ``bench --compare`` diffs
+    commit-tail drift across sim and live backends.
+    """
+    from repro.harness.stats import percentile
+    values = sorted(latencies.values())
+    if not values:
+        return {"p50": None, "p95": None, "p99": None}
+    return {
+        "p50": percentile(values, 0.50),
+        "p95": percentile(values, 0.95),
+        "p99": percentile(values, 0.99),
+    }
 
 
 # ----------------------------------------------------------------------

@@ -24,9 +24,75 @@ What the live clock does **not** give:
 from __future__ import annotations
 
 import asyncio
+import random
+import time
+from dataclasses import dataclass
 from typing import Callable
 
-__all__ = ["LiveClock"]
+__all__ = ["Backoff", "Deadline", "LiveClock"]
+
+
+@dataclass(frozen=True)
+class Backoff:
+    """Bounded-exponential retry schedule with full jitter.
+
+    The supervisor contract of every live control-plane interaction
+    (spawn handshake, TCP control channel, HTTP serve): attempt,
+    sleep ``min(cap, base * factor**i) * uniform(0.5, 1)``, retry —
+    up to ``attempts`` tries total — then declare the peer dead with a
+    one-line error naming what was tried.  Jitter keeps a campaign's
+    retries from thundering in phase; the RNG is injectable so tests
+    can pin the schedule.
+    """
+
+    base: float = 0.05
+    factor: float = 2.0
+    cap: float = 0.5
+    attempts: int = 4
+
+    def __post_init__(self) -> None:
+        if self.base <= 0 or self.factor < 1 or self.cap < self.base:
+            raise ValueError("backoff needs base > 0, factor >= 1, "
+                             "cap >= base")
+        if self.attempts < 1:
+            raise ValueError("backoff needs at least one attempt")
+
+    def delays(self, rng: random.Random | None = None) -> list[float]:
+        """The jittered sleep after each failed attempt but the last."""
+        rng = rng if rng is not None else random
+        return [min(self.cap, self.base * self.factor ** i)
+                * rng.uniform(0.5, 1.0)
+                for i in range(self.attempts - 1)]
+
+
+class Deadline:
+    """A wall-clock budget: ``remaining`` shrinks, ``expired`` is final.
+
+    Wraps ``time.monotonic`` so supervised operations can bound every
+    blocking step (connect, read, join) by what is left of the overall
+    budget rather than a fixed per-step timeout.
+    """
+
+    def __init__(self, budget_s: float) -> None:
+        if budget_s <= 0:
+            raise ValueError("deadline budget must be positive")
+        self.budget_s = budget_s
+        self._start = time.monotonic()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the deadline started."""
+        return time.monotonic() - self._start
+
+    @property
+    def remaining(self) -> float:
+        """Seconds left in the budget (never negative)."""
+        return max(0.0, self.budget_s - self.elapsed)
+
+    @property
+    def expired(self) -> bool:
+        """Whether the budget is spent."""
+        return self.remaining <= 0.0
 
 
 class LiveClock:

@@ -1,0 +1,79 @@
+"""File-backed stable storage for live nodes.
+
+The simulator's :class:`~repro.sim.storage.StableStorage` keeps its
+durable map in process memory — fine there, because a sim "crash" never
+kills the interpreter.  A live node dies by SIGKILL, so durability must
+reach the filesystem: :class:`FileStorage` snapshots the durable map to
+a pickle file on every committed sync (atomic ``os.replace`` of a temp
+file, so a kill mid-write leaves the previous snapshot intact) and
+reloads it at construction.  A respawned incarnation therefore boots
+with exactly the state its predecessor had synced — the
+``crash -> SIGKILL -> respawn`` path of a live soak campaign goes
+through real storage-backed recovery.
+
+The commit discipline is inherited unchanged: ``on_durable`` callbacks
+(acceptor replies that must not precede durability) run only after the
+snapshot has been flushed and replaced on disk.  ``sync_latency``
+should be ``0.0`` live — the real ``fsync`` is the cost, not a modeled
+one.
+
+Everything the repository's replicas persist (ballots, batches, plain
+tuples) is a module-level dataclass or builtin, so pickle round-trips
+it exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Any, Callable, Hashable
+
+from repro.sim.storage import StableStorage, StorageError
+
+__all__ = ["FileStorage"]
+
+
+class FileStorage(StableStorage):
+    """A :class:`StableStorage` whose durable map survives SIGKILL.
+
+    ``path`` is the snapshot file, stable across incarnations (the
+    cluster derives it from the pid, not the incarnation).  ``clock``
+    plays the ``sim`` role of the base class; with the default
+    ``sync_latency=0.0`` commits are synchronous and the clock is only
+    read for observer timestamps.
+    """
+
+    def __init__(self, pid: int, clock: Any, path: str,
+                 hub: Any = None, sync_latency: float = 0.0) -> None:
+        super().__init__(pid, clock, hub=hub, sync_latency=sync_latency)
+        self.path = path
+        if os.path.exists(path):
+            try:
+                with open(path, "rb") as handle:
+                    self._durable.update(pickle.load(handle))
+            except (OSError, pickle.UnpicklingError, EOFError) as error:
+                raise StorageError(
+                    f"stable storage of pid {pid}: cannot reload "
+                    f"snapshot {path!r}: {error}") from None
+
+    def _flush(self) -> None:
+        """Write the durable map to disk atomically (temp + replace)."""
+        tmp = f"{self.path}.tmp"
+        with open(tmp, "wb") as handle:
+            pickle.dump(self._durable, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+
+    def _make_commit(self, batch: dict[Hashable, Any], index: int, life: int,
+                     on_durable: Callable[[], None] | None
+                     ) -> Callable[[], None]:
+        def durable_after_flush() -> None:
+            self._flush()
+            if on_durable is not None:
+                on_durable()
+
+        # The base commit updates the durable map, dispatches observers,
+        # and calls our wrapper only on a successful commit — so failed
+        # or aborted batches never touch the file either.
+        return super()._make_commit(batch, index, life, durable_after_flush)

@@ -56,6 +56,20 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["LinkWindow", "LiveTransport"]
 
 
+#: Burst allowance of the rate-cap token bucket, in seconds of the cap
+#: (a 200 frames/s cap may burst ~20 frames before shedding).
+_BURST_S = 0.1
+
+#: Cap on a pareto jitter draw, in multiples of ``jitter`` — keeps the
+#: heavy tail from exceeding protocol timeouts by unbounded amounts.
+_PARETO_CAP = 4.0
+
+#: Shape parameter of the pareto jitter distribution.  ``alpha = 2``
+#: makes ``jitter * (X - 1)`` average ``jitter`` with a heavy tail, so
+#: uniform and pareto windows are comparable at the same ``jitter``.
+_PARETO_ALPHA = 2.0
+
+
 @dataclass(frozen=True)
 class LinkWindow:
     """A socket-level disturbance window on chosen ordered pairs.
@@ -66,6 +80,18 @@ class LinkWindow:
     probability of sending a second copy — the live analogue of
     :class:`~repro.sim.links.DegradedWindow`.  Times are seconds on the
     applying transport's clock.
+
+    The netem-style fields extend the window into the shapes a
+    ``tc netem`` qdisc produces (nemesis ``netem`` events map here):
+    ``delay`` is a *fixed* base latency; ``jitter`` an additional
+    spread drawn per frame from ``dist`` (``uniform`` over
+    ``[0, jitter)``, or a heavy-tailed ``pareto`` scaled so its mean is
+    ``jitter`` and capped at 4x); ``reorder`` the probability that a
+    frame skips its queued delay entirely and overtakes in-flight
+    traffic; ``rate`` a frames/second cap (``0`` = uncapped) enforced
+    by a token bucket — frames over the cap drop with reason
+    ``rate_cap``.  Because pairs are ordered, asymmetric per-direction
+    regimes are just two windows.
     """
 
     start: float
@@ -74,6 +100,11 @@ class LinkWindow:
     loss: float = 0.0
     extra_delay: float = 0.0
     duplicate: float = 0.0
+    delay: float = 0.0
+    jitter: float = 0.0
+    dist: str = "uniform"
+    reorder: float = 0.0
+    rate: float = 0.0
 
     def __post_init__(self) -> None:
         if self.end <= self.start:
@@ -85,6 +116,18 @@ class LinkWindow:
                 f"duplicate must be a probability, got {self.duplicate}")
         if self.extra_delay < 0:
             raise ValueError("extra_delay must be >= 0")
+        if self.delay < 0:
+            raise ValueError("delay must be >= 0")
+        if self.jitter < 0:
+            raise ValueError("jitter must be >= 0")
+        if self.dist not in ("uniform", "pareto"):
+            raise ValueError(
+                f"dist must be 'uniform' or 'pareto', got {self.dist!r}")
+        if not 0.0 <= self.reorder <= 1.0:
+            raise ValueError(
+                f"reorder must be a probability, got {self.reorder}")
+        if self.rate < 0:
+            raise ValueError("rate must be >= 0 (0 = uncapped)")
 
     def applies(self, src: int, dst: int, now: float) -> bool:
         """Whether this window disturbs ``src -> dst`` at ``now``."""
@@ -158,6 +201,8 @@ class LiveTransport:
         self._processes: dict[int, "Process"] = {}
         self._sockets: dict[int, asyncio.DatagramTransport] = {}
         self._windows: list[LinkWindow] = []
+        # Token buckets of rate-capped pairs: (src, dst) -> (tokens, last).
+        self._buckets: dict[tuple[int, int], tuple[float, float]] = {}
         self._rng = random.Random(seed)
         # Newest incarnation seen per sender; the receiver-side
         # stale-incarnation filter (exact for in-loop senders).
@@ -234,25 +279,72 @@ class LiveTransport:
     def degrade(self, duration: float,
                 pairs: tuple[tuple[int, int], ...] = (),
                 loss: float = 0.0, extra_delay: float = 0.0,
-                duplicate: float = 0.0, start: float | None = None) -> LinkWindow:
+                duplicate: float = 0.0, start: float | None = None,
+                delay: float = 0.0, jitter: float = 0.0,
+                dist: str = "uniform", reorder: float = 0.0,
+                rate: float = 0.0) -> LinkWindow:
         """Convenience: add a window starting now (or at ``start``)."""
         begin = self.clock.now if start is None else start
         window = LinkWindow(begin, begin + duration, pairs, loss,
-                            extra_delay, duplicate)
+                            extra_delay, duplicate, delay, jitter, dist,
+                            reorder, rate)
         self.add_window(window)
         return window
 
-    def _window_effects(self, src: int, dst: int,
-                        now: float) -> tuple[float, float, float]:
+    def _window_effects(self, src: int, dst: int, now: float) -> tuple[
+            float, float, float, float, float, str, float, float]:
+        """Composed disturbance on ``src -> dst`` at ``now``.
+
+        Returns ``(loss, uniform_delay, duplicate, base_delay, jitter,
+        dist, reorder, rate)``.  Losses compose multiplicatively,
+        delays and jitters add, duplicate/reorder take the max, any
+        pareto window makes the composed jitter pareto, and the
+        tightest positive rate cap wins.
+        """
         loss = 0.0
-        delay = 0.0
+        uniform_delay = 0.0
         duplicate = 0.0
+        base_delay = 0.0
+        jitter = 0.0
+        dist = "uniform"
+        reorder = 0.0
+        rate = 0.0
         for window in self._windows:
             if window.applies(src, dst, now):
                 loss = 1.0 - (1.0 - loss) * (1.0 - window.loss)
-                delay += window.extra_delay
+                uniform_delay += window.extra_delay
                 duplicate = max(duplicate, window.duplicate)
-        return loss, delay, duplicate
+                base_delay += window.delay
+                jitter += window.jitter
+                if window.dist == "pareto":
+                    dist = "pareto"
+                reorder = max(reorder, window.reorder)
+                if window.rate > 0.0:
+                    rate = window.rate if rate == 0.0 else min(rate,
+                                                               window.rate)
+        return (loss, uniform_delay, duplicate, base_delay, jitter, dist,
+                reorder, rate)
+
+    def _sample_jitter(self, jitter: float, dist: str) -> float:
+        """One per-frame jitter draw: uniform spread or capped pareto."""
+        if jitter <= 0.0:
+            return 0.0
+        if dist == "pareto":
+            spread = jitter * (self._rng.paretovariate(_PARETO_ALPHA) - 1.0)
+            return min(spread, jitter * _PARETO_CAP)
+        return self._rng.uniform(0.0, jitter)
+
+    def _rate_admit(self, src: int, dst: int, rate: float,
+                    now: float) -> bool:
+        """Token-bucket admission for a rate-capped pair."""
+        tokens, last = self._buckets.get((src, dst), (rate * _BURST_S, now))
+        burst = max(2.0, rate * _BURST_S)
+        tokens = min(burst, tokens + (now - last) * rate)
+        if tokens < 1.0:
+            self._buckets[(src, dst)] = (tokens, now)
+            return False
+        self._buckets[(src, dst)] = (tokens - 1.0, now)
+        return True
 
     # ------------------------------------------------------------------
     # Transport protocol: messaging
@@ -328,7 +420,12 @@ class LiveTransport:
     def _transmit(self, src: int, dst: int, message: Message, now: float,
                   incarnation: int) -> None:
         """Push one frame toward the socket, through any fault windows."""
-        loss, extra_delay, duplicate = self._window_effects(src, dst, now)
+        (loss, uniform_delay, duplicate, base_delay, jitter, dist,
+         reorder, rate) = self._window_effects(src, dst, now)
+        if rate and not self._rate_admit(src, dst, rate, now):
+            for callback in self.hub.drop_cbs:
+                callback(now, src, dst, message.kind, "rate_cap")
+            return
         if loss and self._rng.random() < loss:
             for callback in self.hub.drop_cbs:
                 callback(now, src, dst, message.kind, "link")
@@ -336,8 +433,14 @@ class LiveTransport:
         frame = encode_frame(message, incarnation, now)
         copies = 2 if duplicate and self._rng.random() < duplicate else 1
         for _ in range(copies):
-            if extra_delay:
-                delay = self._rng.uniform(0.0, extra_delay)
+            delay = base_delay + self._sample_jitter(jitter, dist)
+            if uniform_delay:
+                delay += self._rng.uniform(0.0, uniform_delay)
+            if reorder and self._rng.random() < reorder:
+                # netem reorder semantics: this frame bypasses the
+                # shaped queue and overtakes delayed in-flight traffic.
+                delay = 0.0
+            if delay:
                 self.clock.post_after(
                     delay, lambda: self._send_frame(src, dst, frame))
             else:
@@ -359,9 +462,12 @@ class LiveTransport:
         hub = self.hub
         try:
             message, incarnation, sent_at = decode_frame(data)
-        except CodecError:
+        except CodecError as error:
+            # Oversized, truncated, garbage, or unknown-kind frames all
+            # account under the codec's precise reason; never raise into
+            # the event loop off a datagram.
             for callback in hub.drop_cbs:
-                callback(now, -1, dst, "?", "corrupt_frame")
+                callback(now, -1, dst, "?", error.reason)
             return
         self.frames_received += 1
         src = message.sender

@@ -70,6 +70,7 @@ __all__ = [
     "DegradeFault",
     "FlapFault",
     "DuplicateFault",
+    "NetemFault",
     "FaultPlan",
     "FaultPlanError",
     "ModelEnvelope",
@@ -437,6 +438,81 @@ class DuplicateFault(_LinkWindowFault):
                               duplicate_lag=self.lag)
 
 
+_NETEM_DISTS = ("uniform", "pareto")
+
+
+@dataclass(frozen=True)
+class NetemFault(_LinkWindowFault):
+    """A netem-style traffic shape on the listed directed links.
+
+    Models the per-direction link weather a Linux ``tc netem`` qdisc
+    produces (arXiv:2102.01251 motivates the asymmetric shapes): a
+    fixed base ``delay`` plus ``jitter`` drawn from ``dist``
+    (``uniform`` over ``[0, jitter)`` or a heavy-tailed ``pareto``
+    spread scaled by ``jitter``), probabilistic ``reorder`` (a frame
+    skips its queued delay and overtakes in-flight traffic), a ``rate``
+    cap in frames/second (``0`` means uncapped; excess frames drop with
+    reason ``rate_cap``), and plain ``loss``.
+
+    Because ``pairs`` are ordered, asymmetric regimes are spelled as
+    two events — e.g. a slow ``0>1`` direction and a lossy ``1>0``
+    direction.  On the simulator the shape is approximated by a
+    :class:`DegradedWindow` with ``extra_delay = delay + jitter`` and
+    the same ``loss`` (the sim's link model has no reorder/rate knobs);
+    on the live backend the full shape applies at the socket
+    (:class:`repro.live.transport.LinkWindow`).
+    """
+
+    delay: float = 0.0
+    jitter: float = 0.0
+    dist: str = "uniform"
+    reorder: float = 0.0
+    rate: float = 0.0
+    loss: float = 0.0
+
+    kind: ClassVar[str] = "netem"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.delay < 0:
+            raise FaultPlanError("netem delay must be >= 0")
+        if self.jitter < 0:
+            raise FaultPlanError("netem jitter must be >= 0")
+        if self.dist not in _NETEM_DISTS:
+            known = ", ".join(_NETEM_DISTS)
+            raise FaultPlanError(
+                f"netem dist must be one of {known}; got {self.dist!r}")
+        if not 0.0 <= self.reorder <= 1.0:
+            raise FaultPlanError(
+                f"reorder must be a probability, got {self.reorder}")
+        if self.rate < 0:
+            raise FaultPlanError("netem rate must be >= 0 (0 = uncapped)")
+        if not 0.0 <= self.loss <= 1.0:
+            raise FaultPlanError(f"loss must be a probability, got {self.loss}")
+        if (self.delay == 0.0 and self.jitter == 0.0 and self.reorder == 0.0
+                and self.rate == 0.0 and self.loss == 0.0):
+            raise FaultPlanError(
+                "netem must shape something: delay, jitter, reorder, "
+                "rate, or loss")
+
+    def to_repro(self) -> str:
+        return (f"netem(start={_fmt(self.start)},end={_fmt(self.end)},"
+                f"pairs={_fmt_pairs(self.pairs)},delay={_fmt(self.delay)},"
+                f"jitter={_fmt(self.jitter)},dist={self.dist},"
+                f"reorder={_fmt(self.reorder)},rate={_fmt(self.rate)},"
+                f"loss={_fmt(self.loss)})")
+
+    def _window_object(self) -> DegradedWindow:
+        extra = self.delay + self.jitter
+        if extra == 0.0 and self.loss == 0.0:
+            # Reorder/rate-only shapes have no sim-window equivalent;
+            # schedule a negligible delay so the window still exists
+            # (and shows up in traces) without perturbing timeouts.
+            extra = 1e-9
+        return DegradedWindow(self.start, self.end, loss=self.loss,
+                              extra_delay=extra)
+
+
 # ----------------------------------------------------------------------
 # Repro-string codec
 # ----------------------------------------------------------------------
@@ -451,6 +527,7 @@ _EVENT_KINDS: dict[str, type[FaultEvent]] = {
     "degrade": DegradeFault,
     "flap": FlapFault,
     "dup": DuplicateFault,
+    "netem": NetemFault,
 }
 
 
@@ -498,6 +575,14 @@ def _build_event(kind: str, fields: dict[str, str]) -> FaultEvent:
     if kind == "flap":
         return FlapFault(start, end, pairs, period=float(fields["period"]),
                          up=float(fields["up"]))
+    if kind == "netem":
+        return NetemFault(start, end, pairs,
+                          delay=float(fields.get("delay", "0")),
+                          jitter=float(fields.get("jitter", "0")),
+                          dist=fields.get("dist", "uniform"),
+                          reorder=float(fields.get("reorder", "0")),
+                          rate=float(fields.get("rate", "0")),
+                          loss=float(fields.get("loss", "0")))
     return DuplicateFault(start, end, pairs, p=float(fields["p"]),
                           lag=float(fields["lag"]))
 

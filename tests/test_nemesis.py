@@ -18,6 +18,7 @@ from repro.sim.nemesis import (
     FlapFault,
     ModelEnvelope,
     Nemesis,
+    NetemFault,
     PartitionFault,
     PauseFault,
     model_violations,
@@ -41,6 +42,9 @@ ALL_EVENTS = (
                  loss=0.35, delay=0.8),
     FlapFault(start=40.0, end=60.0, pairs=((2, 3),), period=2.5, up=0.4),
     DuplicateFault(start=7.0, end=90.0, pairs=((1, 2),), p=0.3, lag=0.1),
+    NetemFault(start=3.0, end=9.5, pairs=((0, 1),), delay=0.05,
+               jitter=0.04, dist="pareto", reorder=0.1, rate=250.0,
+               loss=0.02),
 )
 
 
@@ -192,6 +196,70 @@ class TestScheduling:
         plan.schedule(system)
         for network in system.networks:
             assert network.partitioned(0, 2, 2.0)
+
+
+class TestNetem:
+    """The netem-style shape: validation, sim approximation, model rules."""
+
+    def test_repro_string_spells_every_field(self) -> None:
+        event = NetemFault(1.0, 6.0, ((0, 1),), delay=0.05, jitter=0.04,
+                           dist="pareto", reorder=0.1, rate=250.0,
+                           loss=0.02)
+        text = event.to_repro()
+        for token in ("delay=0.05", "jitter=0.04", "dist=pareto",
+                      "reorder=0.1", "rate=250.0", "loss=0.02",
+                      "pairs=0>1"):
+            assert token in text
+        assert parse_event(text) == event
+
+    def test_asymmetric_pair_round_trips_in_one_plan(self) -> None:
+        plan = FaultPlan([
+            NetemFault(1.0, 6.0, ((0, 1),), delay=0.05, jitter=0.04,
+                       dist="pareto", reorder=0.1),
+            NetemFault(1.0, 6.0, ((1, 0),), delay=0.01, rate=300.0,
+                       loss=0.05),
+        ])
+        text = plan.to_repro()
+        assert FaultPlan.from_repro(text).to_repro() == text
+
+    def test_all_zero_shape_rejected(self) -> None:
+        with pytest.raises(FaultPlanError):
+            NetemFault(1.0, 6.0, ((0, 1),))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"delay": -0.1}, {"jitter": -0.1}, {"rate": -1.0},
+        {"reorder": 1.5}, {"loss": 1.5},
+        {"delay": 0.1, "dist": "normal"},
+    ], ids=["neg-delay", "neg-jitter", "neg-rate", "reorder-range",
+            "loss-range", "bad-dist"])
+    def test_bad_fields_rejected(self, kwargs) -> None:
+        with pytest.raises(FaultPlanError):
+            NetemFault(1.0, 6.0, ((0, 1),), **kwargs)
+
+    def test_sim_approximation_degrades_the_named_link(self) -> None:
+        # On the simulator the shape collapses to loss + extra_delay =
+        # delay + jitter; a loss=1.0 netem window therefore blackholes
+        # exactly its pairs, like a DegradeFault would.
+        cluster = build_cluster(n=3)
+        plan = FaultPlan([NetemFault(1.0, 5.0, ((0, 1),), loss=1.0)])
+        plan.schedule(cluster)
+        cluster.start_all()
+        cluster.run_until(2.0)
+        cluster.process(0).send(1, Probe(0, 1))  # shaped: dropped
+        cluster.process(0).send(2, Probe(0, 2))  # untouched: delivered
+        cluster.run_until(4.0)
+        assert cluster.process(1).received == []
+        assert [m.payload for _, m in cluster.process(2).received] == [2]
+
+    def test_model_envelope_applies_heal_by_rule(self) -> None:
+        envelope = ModelEnvelope(n=3, source=0, f=1, horizon=400.0)
+        healed = FaultPlan([NetemFault(10.0, 100.0, ((0, 1),),
+                                       delay=0.2, jitter=0.1)])
+        assert model_violations(healed, envelope) == []
+        persistent = FaultPlan([NetemFault(10.0, 390.0, ((0, 1),),
+                                           delay=0.2)])
+        assert any("persists" in issue
+                   for issue in model_violations(persistent, envelope))
 
 
 class TestModelEnvelope:

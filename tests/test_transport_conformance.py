@@ -196,6 +196,82 @@ class TestElection:
         run_conformance(backend_name, 3, body)
 
 
+def _frame_with_kind(kind: str) -> bytes:
+    """A structurally valid frame whose ``k`` tag is ``kind``."""
+    import json
+    import struct
+
+    body = json.dumps({"k": kind, "i": 0, "t": 0.0, "f": {}}).encode()
+    return struct.pack(">I", len(body)) + body
+
+
+def _corrupt_frames():
+    import struct
+
+    from repro.live.codec import MAX_FRAME
+
+    return [
+        pytest.param(b"\x00\x01", "truncated_frame", id="short-prefix"),
+        pytest.param(struct.pack(">I", 50) + b"{}", "truncated_frame",
+                     id="length-mismatch"),
+        pytest.param(struct.pack(">I", MAX_FRAME + 1) + b"x" * 8,
+                     "oversized_frame", id="oversized"),
+        pytest.param(struct.pack(">I", 15) + b"not json at all",
+                     "corrupt_frame", id="garbage-body"),
+        pytest.param(struct.pack(">I", 2) + b"{}", "corrupt_frame",
+                     id="missing-envelope-keys"),
+        pytest.param(_frame_with_kind("NoSuchMessageClass"),
+                     "unknown_kind", id="unknown-kind"),
+    ]
+
+
+class TestCodecRobustness:
+    """Malformed datagrams drop with a precise reason; never a raise.
+
+    The codec surface only exists on the live backend (the sim has no
+    datagrams), so these ride the live half of the conformance driver:
+    raw bytes go in through a real UDP socket, the drop is observed via
+    the same ``on_drop`` hub dispatch both backends share, and a good
+    frame afterwards proves the handler survived.
+    """
+
+    @pytest.mark.parametrize("data,reason", _corrupt_frames())
+    def test_malformed_datagram_drops_with_reason(self, data,
+                                                  reason) -> None:
+        import socket
+
+        from repro.core.messages import Heartbeat
+
+        async def main() -> None:
+            backend = LiveBackend(2)
+            await backend.transport.open()
+            try:
+                Recorder(0, backend.clock, backend.transport).start()
+                b = Recorder(1, backend.clock, backend.transport)
+                b.start()
+                with socket.socket(socket.AF_INET,
+                                   socket.SOCK_DGRAM) as raw:
+                    raw.sendto(data, backend.transport.endpoints[1])
+                recorder = recorder_of(backend)
+                deadline = asyncio.get_running_loop().time() + 2.0
+                while (not recorder.dropped_by_reason.get(reason)
+                       and asyncio.get_running_loop().time() < deadline):
+                    await asyncio.sleep(0.02)
+                assert recorder.dropped_by_reason[reason] == 1, \
+                    dict(recorder.dropped_by_reason)
+                # The handler survived: a well-formed frame still flows.
+                backend.transport.send(0, 1, Heartbeat(sender=0))
+                deadline = asyncio.get_running_loop().time() + 2.0
+                while (not b.received
+                       and asyncio.get_running_loop().time() < deadline):
+                    await asyncio.sleep(0.02)
+                assert b.received == [Heartbeat(sender=0)]
+            finally:
+                backend.transport.close()
+
+        asyncio.run(main())
+
+
 class TestIncarnations:
     def test_crash_restart_keeps_incarnation_semantics(self,
                                                        backend_name) -> None:
